@@ -1,0 +1,108 @@
+"""C10 — §4: why one-pass generic analysis had to be abandoned.
+
+The paper's original design — a single pass recognizing generic TCP
+actions — foundered on (a) vantage-point ambiguities, (b) behaviors
+that fit no generic action (Linux flights, Solaris premature
+retransmissions), and (c) properties only apparent from a whole
+connection (the sender window, §6.2).
+
+This ablation compares three analyzer designs on the same traces:
+
+* **eager one-pass** — feed every recorded ack before each send,
+  classify by generic actions only (no implementation knowledge);
+* **lazy generic** — tcpanaly's lazy liberation feeding, but a
+  generic-Reno model for every trace;
+* **full tcpanaly** — lazy feeding plus the per-implementation model.
+
+The failure counts reproduce the paper's design argument: each
+ingredient removes a class of spurious findings.
+"""
+
+from repro.core.sender.analyzer import (
+    SenderAnalysis,
+    _Replay,
+    analyze_sender,
+    extract_facts,
+)
+from repro.harness.scenarios import traced_transfer
+from repro.tcp.catalog import get_behavior
+
+from benchmarks.conftest import emit
+
+CASES = (
+    ("reno", "wan-lossy"),
+    ("tahoe", "wan-lossy"),
+    ("linux-1.0", "wan-lossy"),
+    ("solaris-2.4", "transatlantic"),
+)
+
+
+def count_failures(trace, behavior, eager: bool) -> int:
+    """Unexplainable data packets under the given feeding discipline."""
+    facts = extract_facts(trace)
+    state = _Replay(trace, behavior, facts,
+                    SenderAnalysis(behavior.label(), behavior, facts))
+    failures = 0
+    for record in state.data:
+        if eager:
+            while state.acks_available_by(record.timestamp):
+                state.feed_ack()
+            classification = state.try_explain(record)
+        else:
+            classification = None
+            while classification is None:
+                classification = state.try_explain(record)
+                if classification is None:
+                    if state.acks_available_by(record.timestamp):
+                        state.feed_ack()
+                    else:
+                        break
+        if classification is None:
+            failures += 1
+            state.model.force_observe(record)
+        else:
+            state.apply(classification)
+    return failures
+
+
+def run_ablation():
+    rows = []
+    for implementation, scenario in CASES:
+        transfer = traced_transfer(get_behavior(implementation), scenario,
+                                   data_size=51200, seed=3)
+        trace = transfer.sender_trace
+        generic = get_behavior("reno")
+        specific = get_behavior(implementation)
+        rows.append({
+            "case": f"{implementation}/{scenario}",
+            "eager_generic": count_failures(trace, generic, eager=True),
+            "lazy_generic": count_failures(trace, generic, eager=False),
+            "full": analyze_sender(trace, specific).violation_count,
+        })
+    return rows
+
+
+def test_c10_design_ablation(once):
+    rows = once(run_ablation)
+
+    lines = [f"{'trace':28s} {'eager+generic':>14s} {'lazy+generic':>13s} "
+             f"{'full tcpanaly':>14s}"]
+    for row in rows:
+        lines.append(f"{row['case']:28s} {row['eager_generic']:14d} "
+                     f"{row['lazy_generic']:13d} {row['full']:14d}")
+    lines.append("(paper §4: one-pass analysis foundered on vantage "
+                 "ambiguity; generic actions foundered on Linux/Solaris "
+                 "behavior — hence two passes + per-implementation "
+                 "knowledge)")
+    emit("C10: analyzer design ablation (§4)", lines)
+
+    by_case = {row["case"]: row for row in rows}
+    # Shape: the full analyzer explains everything; the generic model
+    # fails badly on independently-written stacks regardless of
+    # feeding; eager feeding is never better than lazy.
+    for row in rows:
+        assert row["full"] == 0
+        assert row["eager_generic"] >= row["lazy_generic"]
+    assert by_case["linux-1.0/wan-lossy"]["lazy_generic"] > 10
+    assert by_case["solaris-2.4/transatlantic"]["lazy_generic"] > 10
+    assert by_case["reno/wan-lossy"]["lazy_generic"] == 0

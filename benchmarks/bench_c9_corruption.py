@@ -1,0 +1,81 @@
+"""C9 — §7: detecting corrupted arrivals.
+
+Receiving kernels checksum-verify and silently discard damaged
+packets *after* the filter records them.  With whole-packet captures
+tcpanaly verifies checksums directly; with the common header-only
+captures it must *infer* a discard: data the trace shows arriving that
+is never acknowledged before the same data arrives again.
+
+We run transfers over a corrupting path, and score the inference
+(header-only) against checksum ground truth (full capture), across
+implementations and corruption rates.
+"""
+
+from repro.core.receiver.analyzer import analyze_receiver
+from repro.harness.scenarios import Scenario, traced_transfer
+from repro.tcp.catalog import get_behavior
+from repro.units import mbit
+
+from benchmarks.conftest import emit
+
+
+def run_study():
+    rows = []
+    for corrupt_rate in (0.0, 0.01, 0.03):
+        for implementation in ("reno", "solaris-2.4", "linux-1.0"):
+            scenario = Scenario(
+                f"corrupt-{corrupt_rate}", bottleneck_bandwidth=mbit(1.0),
+                bottleneck_delay=0.035, corrupt_rate=corrupt_rate)
+            transfer = traced_transfer(get_behavior(implementation),
+                                       scenario, data_size=51200, seed=1)
+            trace = transfer.receiver_trace
+            truth = {r.packet_id for r in trace if r.corrupted}
+            verified = analyze_receiver(trace, get_behavior(implementation))
+            inferred = analyze_receiver(trace, get_behavior(implementation),
+                                        headers_only=True)
+            inferred_ids = {r.packet_id for r in inferred.inferred_corrupt}
+            rows.append({
+                "implementation": implementation,
+                "rate": corrupt_rate,
+                "truth": len(truth),
+                "verified": len(verified.verified_corrupt),
+                "inferred": len(inferred_ids),
+                "missed": len(truth - inferred_ids),
+                "false": len(inferred_ids - truth),
+            })
+    return rows
+
+
+def test_c9_corruption_inference(once):
+    rows = once(run_study)
+
+    lines = [f"{'implementation':16s} {'rate':>6s} {'truth':>6s} "
+             f"{'verified':>9s} {'inferred':>9s} {'missed':>7s} "
+             f"{'false':>6s}"]
+    for row in rows:
+        lines.append(f"{row['implementation']:16s} {row['rate']:6.2f} "
+                     f"{row['truth']:6d} {row['verified']:9d} "
+                     f"{row['inferred']:9d} {row['missed']:7d} "
+                     f"{row['false']:6d}")
+    lines.append("(paper: checksums verify when contents were captured; "
+                 "otherwise corruption is inferred from unacknowledged "
+                 "arrivals that get retransmitted)")
+    emit("C9: corrupted-arrival detection (§7)", lines)
+
+    for row in rows:
+        # Checksum verification is exact for everyone.
+        assert row["verified"] == row["truth"]
+        if row["rate"] == 0.0:
+            assert row["inferred"] == 0
+        if row["implementation"] == "linux-1.0":
+            # Linux 1.0's whole-flight retransmission storms blur the
+            # "unacknowledged then re-sent" signature: the inference
+            # stays useful (finds at least half) but loses precision —
+            # the pathological sender degrades the measurement too.
+            assert row["inferred"] >= row["truth"] - row["missed"] >= \
+                row["truth"] // 2
+        else:
+            # For sanely-retransmitting stacks the inference is exact
+            # up to a couple of ambiguous extras.
+            assert row["missed"] == 0
+            assert row["false"] <= max(2, row["truth"] // 2)

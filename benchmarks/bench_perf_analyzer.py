@@ -1,0 +1,52 @@
+"""Tool performance: analysis throughput on large traces.
+
+The paper hoped tcpanaly might one day "watch an Internet link in
+real-time and detect misbehaving TCP sessions" (§4) — abandoned for
+other reasons, but throughput still matters for batch analysis of a
+20,000-trace corpus.  These benchmarks measure the three analysis
+kernels on a ~1 MB transfer (thousands of packets), with proper
+multi-round statistics (the one place wall-clock timing, not shape,
+is the result).
+"""
+
+import pytest
+
+from repro.core.calibrate import calibrate_trace
+from repro.core.receiver.analyzer import analyze_receiver
+from repro.core.sender.analyzer import analyze_sender
+from repro.harness.scenarios import traced_transfer
+from repro.tcp.catalog import get_behavior
+
+from benchmarks.conftest import emit
+
+
+@pytest.fixture(scope="module")
+def big_transfer():
+    return traced_transfer(get_behavior("reno"), "wan-lossy",
+                           data_size=1_048_576, seed=2)
+
+
+def test_perf_sender_analysis(benchmark, big_transfer):
+    trace = big_transfer.sender_trace
+    analysis = benchmark(analyze_sender, trace, get_behavior("reno"))
+    assert analysis.violation_count == 0
+    rate = len(trace) / benchmark.stats.stats.mean
+    emit("tool performance: sender analysis", [
+        f"trace: {len(trace)} records; "
+        f"throughput ≈ {rate:,.0f} records/sec",
+    ])
+    assert rate > 5_000   # comfortably faster than a 1995 link's packet rate
+
+
+def test_perf_receiver_analysis(benchmark, big_transfer):
+    trace = big_transfer.receiver_trace
+    analysis = benchmark(analyze_receiver, trace, get_behavior("reno"))
+    assert analysis.gratuitous == []
+    rate = len(trace) / benchmark.stats.stats.mean
+    assert rate > 5_000
+
+
+def test_perf_calibration(benchmark, big_transfer):
+    trace = big_transfer.sender_trace
+    report = benchmark(calibrate_trace, trace, get_behavior("reno"))
+    assert report.clean

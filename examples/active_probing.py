@@ -1,0 +1,75 @@
+"""Active probing + automated analysis: the paper's §2 combination.
+
+Run:  python examples/active_probing.py
+
+The paper reviews two prior methodologies — Comer & Lin's active
+probing and Dawson et al.'s fault injection — and notes that passive
+trace analysis (tcpanaly) and active techniques compose: control the
+stimuli a TCP sees, then analyze the trace of its response
+automatically.
+
+This example does both probes the library ships:
+
+1. the black-hole probe (a [CL94]/[DJM97]-style timer study): drop
+   everything and read the retransmission schedule off the trace;
+2. the small-hole-fill probe, which separates Solaris 2.3 from 2.4 —
+   two stacks whose *sender* behavior is identical (§8.6).
+"""
+
+from dataclasses import replace
+
+from repro.capture.filter import PacketFilter, attach_at_host
+from repro.core.fit import identify_receiver
+from repro.harness.probing import probe_hole_fill
+from repro.netsim.engine import Engine
+from repro.netsim.link import DeterministicLoss
+from repro.netsim.network import build_path
+from repro.tcp import get_behavior
+from repro.tcp.connection import run_bulk_transfer
+from repro.units import kbyte
+
+
+def timer_probe(label: str) -> list[float]:
+    """Black-hole the data path; return the first data segment's
+    retransmission schedule (gaps in seconds)."""
+    engine = Engine()
+    path = build_path(engine, forward_loss=DeterministicLoss(
+        predicate=lambda s: "drop" if s.payload > 0 else "deliver"))
+    packet_filter = PacketFilter(vantage="sender")
+    attach_at_host(path.sender, packet_filter)
+    behavior = replace(get_behavior(label), max_data_retries=5)
+    run_bulk_transfer(behavior, data_size=kbyte(10), path=path,
+                      max_duration=600)
+    trace = packet_filter.trace()
+    flow = trace.primary_flow()
+    times = [r.timestamp for r in trace
+             if r.flow == flow and r.payload > 0
+             and r.seq == trace.records[0].seq + 1]
+    return [b - a for a, b in zip(times, times[1:])]
+
+
+def main() -> None:
+    print("probe 1: black-hole timer study ([CL94]/[DJM97] style)")
+    print(f"{'implementation':14s}  retransmission schedule (s)")
+    for label in ("reno", "solaris-2.4", "linux-1.0", "trumpet-2.0b"):
+        gaps = timer_probe(label)
+        schedule = ", ".join(f"{g:.2f}" for g in gaps[:5])
+        print(f"{label:14s}  {schedule}")
+    print("  -> Solaris's ~0.3 s initial timer (§8.6) and Trumpet's "
+          "barely-backing-off timer stand out.\n")
+
+    print("probe 2: small hole fill (splits Solaris 2.3 from 2.4)")
+    for truth in ("solaris-2.3", "solaris-2.4"):
+        trace = probe_hole_fill(get_behavior(truth))
+        fits = identify_receiver(
+            trace, {label: get_behavior(label)
+                    for label in ("solaris-2.3", "solaris-2.4")})
+        verdict = ", ".join(f"{f.implementation}:{f.category}"
+                            for f in fits)
+        print(f"  true {truth} -> {verdict}")
+    print("  -> the one behavior separating 2.3 from 2.4 is its "
+          "receiver acking bug; only a targeted stimulus reveals it.")
+
+
+if __name__ == "__main__":
+    main()

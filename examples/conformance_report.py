@@ -1,0 +1,83 @@
+"""A conformance report card for a TCP implementation.
+
+Run:  python examples/conformance_report.py [implementation]
+
+The paper's closing argument (§11) is that the Internet community
+needs testing programs for TCP implementations.  This example is a
+small such program built on the library: given an implementation, it
+runs a battery of provocations (loss, high RTT, slow links, source
+quench) and grades sender and receiver behavior against the standards
+and best practice, citing the paper's findings.
+"""
+
+import sys
+
+from repro.core import analyze_receiver, analyze_sender
+from repro.harness import traced_transfer
+from repro.tcp import get_behavior
+from repro.units import kbyte
+
+
+def grade(condition: bool) -> str:
+    return "PASS" if condition else "FAIL"
+
+
+def main() -> None:
+    label = sys.argv[1] if len(sys.argv) > 1 else "solaris-2.3"
+    behavior = get_behavior(label)
+    print(f"TCP conformance report: {label}")
+    print("=" * 60)
+
+    # -- retransmission discipline under genuine loss ----------------------
+    lossy = traced_transfer(behavior, "wan-lossy", data_size=kbyte(100),
+                            seed=2)
+    sender = lossy.result.sender
+    rexmit_fraction = sender.stats_retransmissions / max(
+        sender.stats_data_packets, 1)
+    print(f"[{grade(rexmit_fraction < 0.2)}] retransmission restraint "
+          f"under 3% loss: {rexmit_fraction:.1%} of packets were "
+          f"retransmissions (expect < 20%)")
+
+    # -- timer sanity at high RTT (the §8.6 check) --------------------------
+    high_rtt = traced_transfer(behavior, "transatlantic",
+                               data_size=kbyte(50))
+    needless = high_rtt.result.sender.stats_retransmissions
+    print(f"[{grade(needless == 0)}] retransmission timer adapts to a "
+          f"680 ms RTT: {needless} needless retransmissions on a "
+          f"loss-free path (expect 0)")
+
+    # -- congestion response to source quench ------------------------------
+    quenched = traced_transfer(behavior, "wan", data_size=kbyte(100),
+                               quench_threshold=4)
+    saw = quenched.result.sender.stats_quenches_seen
+    print(f"[{grade(quenched.result.completed)}] survives ICMP source "
+          f"quench ({saw} received)")
+
+    # -- receiver acking policy (§9.1) --------------------------------------
+    receiver_analysis = analyze_receiver(lossy.receiver_trace, behavior)
+    counts = receiver_analysis.counts_by_kind()
+    data_acks = sum(counts.get(k, 0)
+                    for k in ("delayed", "normal", "stretch"))
+    ack_ratio = receiver_analysis.ack_count / max(
+        lossy.result.sender.stats_data_packets, 1)
+    print(f"[{grade(ack_ratio < 0.9)}] ack economy: "
+          f"{ack_ratio:.2f} acks per data packet "
+          f"(every-packet acking wastes the return path)")
+    ceiling = len(receiver_analysis.delay_ceiling_violations)
+    print(f"[{grade(ceiling == 0)}] RFC 1122 500 ms ack ceiling: "
+          f"{ceiling} violations")
+    print(f"[{grade(not receiver_analysis.gratuitous)}] no gratuitous "
+          f"acks: {len(receiver_analysis.gratuitous)} observed")
+
+    # -- self-consistency: does the trace match the claimed behavior? -------
+    analysis = analyze_sender(lossy.sender_trace, behavior)
+    print(f"[{grade(analysis.violation_count == 0)}] behavior model "
+          f"consistency: {analysis.violation_count} window violations")
+
+    print("=" * 60)
+    print("compare: python examples/conformance_report.py reno")
+    print("         python examples/conformance_report.py linux-1.0")
+
+
+if __name__ == "__main__":
+    main()

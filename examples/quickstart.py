@@ -1,0 +1,68 @@
+"""Quickstart: simulate a transfer, capture it, analyze it.
+
+Run:  python examples/quickstart.py
+
+This walks the library's core loop in five steps:
+1. pick a TCP implementation from the catalog;
+2. run a bulk transfer over a simulated Internet path, with packet
+   filters at both endpoints;
+3. render the sender-side trace tcpdump-style;
+4. calibrate the trace (measurement-error checks) and analyze the
+   sender's behavior against its own implementation model;
+5. ask tcpanaly to *identify* the implementation from the trace alone.
+"""
+
+from repro.analysis.seqplot import render_ascii_plot, sequence_plot
+from repro.core import analyze_sender, calibrate_trace, identify_implementation
+from repro.harness import traced_transfer
+from repro.tcp import get_behavior, implementation_names
+from repro.trace.text import render_trace
+from repro.units import kbyte
+
+
+def main() -> None:
+    print("known implementations:", ", ".join(implementation_names()))
+    behavior = get_behavior("solaris-2.4")
+
+    # A 100 KB transfer over a lossy cross-country path, filters at
+    # both ends (the paper's measurement unit).
+    transfer = traced_transfer(behavior, "wan-lossy",
+                               data_size=kbyte(100), seed=1)
+    result = transfer.result
+    print(f"\ntransfer: {'completed' if result.completed else 'FAILED'} "
+          f"in {result.duration:.2f}s, "
+          f"{result.sender.stats_data_packets} data packets "
+          f"({result.sender.stats_retransmissions} retransmissions), "
+          f"{result.throughput / 1024:.1f} KB/s")
+
+    trace = transfer.sender_trace
+    print("\nfirst packets of the sender-side trace:")
+    print("\n".join(render_trace(trace).splitlines()[:10]))
+
+    print("\ntime-sequence plot:")
+    print(render_ascii_plot(sequence_plot(trace), width=70, height=14))
+
+    # Step 1 of any tcpanaly run: can the measurement be trusted?
+    calibration = calibrate_trace(trace, behavior,
+                                  peer_trace=transfer.receiver_trace)
+    print(f"\ncalibration: {calibration.summary()}")
+
+    # Step 2: explain every packet the sender transmitted.
+    analysis = analyze_sender(trace, behavior)
+    print(f"sender analysis: {analysis.summary()}")
+
+    # Step 3: blind identification — which implementation is this?
+    report = identify_implementation(trace)
+    print("\nidentification (top 5):")
+    for fit in report.fits[:5]:
+        if fit.analysis is None:
+            continue
+        print(f"  {fit.implementation:16s} {fit.category:10s} "
+              f"violations={fit.analysis.violation_count:3d} "
+              f"mean delay={fit.analysis.mean_response_delay * 1e3:6.2f} ms")
+    print(f"\nbest fit: {report.best.implementation} "
+          f"({report.best.category})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""tcpanaly-repro: automated packet trace analysis of TCP implementations.
+
+A from-scratch reproduction of Vern Paxson's tcpanaly (SIGCOMM 1997)
+and every substrate it needs: a discrete-event network simulator
+(:mod:`repro.netsim`), behavior-faithful models of the studied TCP
+implementations (:mod:`repro.tcp`), packet filters with the paper's
+measurement-error taxonomy (:mod:`repro.capture`), trace formats
+including real pcap (:mod:`repro.trace`), the analyzer itself
+(:mod:`repro.core`), statistics and plots (:mod:`repro.analysis`),
+and experiment harnesses (:mod:`repro.harness`).
+
+Quick tour::
+
+    from repro.harness import traced_transfer
+    from repro.tcp import get_behavior
+    from repro.core import analyze_sender, identify_implementation
+
+    transfer = traced_transfer(get_behavior("linux-1.0"), "wan-lossy")
+    print(analyze_sender(transfer.sender_trace,
+                         get_behavior("linux-1.0")).summary())
+    print(identify_implementation(transfer.sender_trace).best.implementation)
+
+See README.md for the architecture, DESIGN.md for the system inventory
+and experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,115 @@
+"""Ack-compression detection ([Pa97a], referenced by the paper).
+
+The paper's stretch-ack footnote notes that apparent impossibilities
+"sometimes happen due to timing compression by the network after the
+bottleneck link".  *Ack compression* is the canonical case: acks leave
+the receiver spaced by the data they acknowledge, queue up somewhere
+on the return path, and arrive at the sender back-to-back.  A sender
+(or analyzer) pacing itself by the ack clock then sees a burst where
+the receiver created smoothness.
+
+Detection needs only the sender-side trace plus the generation spacing
+implied by the acked data: a run of acks whose *arrival* span is far
+smaller than the span of the sends they acknowledge was compressed in
+flight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.trace.record import Trace
+from repro.units import seq_gt
+
+#: Minimum acks in a run for a compression event.
+MIN_RUN = 3
+#: Arrival span must shrink by at least this factor.
+MIN_FACTOR = 4.0
+#: Send gaps beyond this reflect sender stalls, not ack generation.
+MAX_STEP_SEND_GAP = 0.5
+
+
+@dataclass(frozen=True)
+class CompressionEvent:
+    """A run of acks arriving far closer together than generated."""
+
+    start_time: float          # arrival of the run's first ack
+    acks: int
+    send_span: float           # spacing of the acked data's sends
+    arrival_span: float
+
+    @property
+    def factor(self) -> float:
+        return self.send_span / max(self.arrival_span, 1e-9)
+
+
+def detect_ack_compression(trace: Trace,
+                           min_run: int = MIN_RUN,
+                           min_factor: float = MIN_FACTOR
+                           ) -> list[CompressionEvent]:
+    """Find ack-compression events in a sender-side trace."""
+    if not trace.records:
+        return []
+    flow = trace.primary_flow()
+    reverse = flow.reversed()
+
+    # First-send time of each data sequence boundary.  A boundary that
+    # was ever retransmitted is useless as a generation-spacing proxy:
+    # its covering ack may arrive an RTO after the first send without
+    # any compression having occurred.
+    send_time: dict[int, float] = {}
+    retransmitted: set[int] = set()
+    highest_sent = None
+    for record in trace:
+        if record.flow == flow and record.payload > 0:
+            if record.seq_end in send_time or (
+                    highest_sent is not None
+                    and not seq_gt(record.seq_end, highest_sent)):
+                retransmitted.add(record.seq_end)
+            send_time.setdefault(record.seq_end, record.timestamp)
+            if highest_sent is None or seq_gt(record.seq_end, highest_sent):
+                highest_sent = record.seq_end
+
+    # Advancing acks with (arrival time, send time of the acked data).
+    advancing: list[tuple[float, float]] = []
+    highest = None
+    for record in trace:
+        if record.flow != reverse or not record.has_ack or record.is_syn:
+            continue
+        if highest is not None and not seq_gt(record.ack, highest):
+            continue
+        highest = record.ack
+        if record.ack in send_time and record.ack not in retransmitted:
+            advancing.append((record.timestamp, send_time[record.ack]))
+
+    # Per-step compression: consecutive acks whose arrival gap shrank
+    # by min_factor relative to the gap between the acked data's sends.
+    # A send gap beyond MAX_STEP_SEND_GAP means the *sender* stalled
+    # (timeout, window exhaustion) — that is not network compression.
+    compressed_step: list[bool] = []
+    for (t0, s0), (t1, s1) in zip(advancing, advancing[1:]):
+        dt_arrival = t1 - t0
+        dt_send = s1 - s0
+        compressed_step.append(
+            0 < dt_send <= MAX_STEP_SEND_GAP
+            and dt_arrival * min_factor <= dt_send)
+
+    events: list[CompressionEvent] = []
+    index = 0
+    while index < len(compressed_step):
+        if not compressed_step[index]:
+            index += 1
+            continue
+        run_end = index
+        while run_end < len(compressed_step) and compressed_step[run_end]:
+            run_end += 1
+        acks = run_end - index + 1       # steps + 1
+        if acks >= min_run:
+            first = advancing[index]
+            last = advancing[run_end]
+            events.append(CompressionEvent(
+                start_time=first[0], acks=acks,
+                send_span=last[1] - first[1],
+                arrival_span=last[0] - first[0]))
+        index = run_end + 1
+    return events

@@ -1,0 +1,104 @@
+"""Time-sequence plots — the paper's primary diagnostic picture.
+
+Figures 1–5 of the paper are all sequence plots: time on the x-axis,
+upper sequence number on the y-axis, solid marks for data packets and
+outlined marks for acks.  :func:`sequence_plot` extracts the plot's
+point series from a trace; :func:`render_ascii_plot` draws a terminal
+rendition, which the benchmarks print so each figure is literally
+regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.trace.record import Trace
+from repro.units import seq_diff
+
+
+@dataclass
+class SequencePlot:
+    """The two point series of a time-sequence plot (relative units)."""
+
+    data_points: list[tuple[float, int]] = field(default_factory=list)
+    ack_points: list[tuple[float, int]] = field(default_factory=list)
+    title: str = ""
+
+    @property
+    def duration(self) -> float:
+        times = [t for t, _ in self.data_points + self.ack_points]
+        return max(times) if times else 0.0
+
+    @property
+    def max_seq(self) -> int:
+        seqs = [s for _, s in self.data_points + self.ack_points]
+        return max(seqs) if seqs else 0
+
+
+def sequence_plot(trace: Trace, title: str = "") -> SequencePlot:
+    """Extract a sequence plot from *trace*.
+
+    Times are relative to the first record; sequence numbers relative
+    to the data stream's initial sequence number.  Data points use the
+    packet's *upper* sequence number, acks the acknowledgement number,
+    matching the paper's plots.
+    """
+    plot = SequencePlot(title=title)
+    if not trace.records:
+        return plot
+    flow = trace.primary_flow()
+    base_time = trace.start_time
+    base_seq = None
+    for record in trace:
+        if record.flow == flow:
+            if base_seq is None and record.is_syn:
+                base_seq = record.seq
+            if base_seq is None:
+                base_seq = record.seq
+            if record.payload > 0:
+                plot.data_points.append(
+                    (record.timestamp - base_time,
+                     seq_diff(record.seq_end, base_seq)))
+        elif record.flow == flow.reversed() and record.has_ack \
+                and not record.is_syn:
+            if base_seq is not None:
+                plot.ack_points.append(
+                    (record.timestamp - base_time,
+                     seq_diff(record.ack, base_seq)))
+    return plot
+
+
+def render_ascii_plot(plot: SequencePlot, width: int = 72,
+                      height: int = 24) -> str:
+    """Draw the plot with terminal characters.
+
+    ``#`` marks data packets (solid squares in the paper), ``o`` marks
+    acks (outlined squares); ``*`` marks cells holding both.
+    """
+    if not plot.data_points and not plot.ack_points:
+        return "(empty plot)"
+    duration = max(plot.duration, 1e-9)
+    max_seq = max(plot.max_seq, 1)
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(time: float, seq: int, mark: str) -> None:
+        x = min(int(time / duration * (width - 1)), width - 1)
+        y = height - 1 - min(int(seq / max_seq * (height - 1)), height - 1)
+        current = grid[y][x]
+        grid[y][x] = "*" if current not in (" ", mark) else mark
+
+    for time, seq in plot.ack_points:
+        place(time, seq, "o")
+    for time, seq in plot.data_points:
+        place(time, seq, "#")
+
+    lines = []
+    if plot.title:
+        lines.append(plot.title)
+    lines.append(f"seq 0..{max_seq} (vertical), "
+                 f"time 0..{duration:.3f}s (horizontal); "
+                 f"# data, o ack")
+    lines.append("+" + "-" * width + "+")
+    lines.extend("|" + "".join(row) + "|" for row in grid)
+    lines.append("+" + "-" * width + "+")
+    return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""Summary statistics over analyses and corpora.
+
+Small, dependency-light helpers used by benchmarks and reports:
+five-number summaries, ack-class tables (§9.1), and retransmission
+statistics (§8) aggregated across traced transfers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.receiver.analyzer import ReceiverAnalysis
+from repro.tcp.connection import TransferResult
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number summary plus mean of a sample."""
+
+    count: int
+    minimum: float
+    median: float
+    mean: float
+    p90: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (f"n={self.count} min={self.minimum:.6g} "
+                f"median={self.median:.6g} mean={self.mean:.6g} "
+                f"p90={self.p90:.6g} max={self.maximum:.6g}")
+
+
+def describe(values: Iterable[float]) -> Summary:
+    """Five-number summary of *values* (raises on empty input)."""
+    data = sorted(values)
+    if not data:
+        raise ValueError("cannot summarize an empty sample")
+    n = len(data)
+
+    def percentile(q: float) -> float:
+        index = min(int(q * (n - 1) + 0.5), n - 1)
+        return data[index]
+
+    return Summary(count=n, minimum=data[0], median=percentile(0.5),
+                   mean=math.fsum(data) / n, p90=percentile(0.9),
+                   maximum=data[-1])
+
+
+def ack_class_table(analyses: Iterable[ReceiverAnalysis]
+                    ) -> dict[str, dict[str, float]]:
+    """Aggregate ack classifications across receiver analyses (§9.1).
+
+    Returns per-implementation rows with the fraction of delayed /
+    normal / stretch acks and delayed-ack delay statistics.
+    """
+    rows: dict[str, dict[str, float]] = {}
+    grouped: dict[str, list[ReceiverAnalysis]] = {}
+    for analysis in analyses:
+        grouped.setdefault(analysis.implementation, []).append(analysis)
+    for implementation, group in grouped.items():
+        counts: dict[str, int] = {}
+        delays: list[float] = []
+        for analysis in group:
+            for kind, count in analysis.counts_by_kind().items():
+                counts[kind] = counts.get(kind, 0) + count
+            delays.extend(analysis.delays_for("delayed"))
+        data_acks = sum(counts.get(k, 0)
+                        for k in ("delayed", "normal", "stretch"))
+        if data_acks == 0:
+            continue
+        row = {
+            "acks": float(data_acks),
+            "delayed_fraction": counts.get("delayed", 0) / data_acks,
+            "normal_fraction": counts.get("normal", 0) / data_acks,
+            "stretch_fraction": counts.get("stretch", 0) / data_acks,
+        }
+        if delays:
+            summary = describe(delays)
+            row["delayed_min_ms"] = summary.minimum * 1e3
+            row["delayed_mean_ms"] = summary.mean * 1e3
+            row["delayed_max_ms"] = summary.maximum * 1e3
+        rows[implementation] = row
+    return rows
+
+
+def retransmission_stats(results: Iterable[tuple[str, TransferResult]]
+                         ) -> dict[str, dict[str, float]]:
+    """Aggregate sender retransmission behavior per implementation."""
+    grouped: dict[str, list[TransferResult]] = {}
+    for implementation, result in results:
+        grouped.setdefault(implementation, []).append(result)
+    rows = {}
+    for implementation, group in grouped.items():
+        packets = sum(r.sender.stats_data_packets for r in group)
+        rexmits = sum(r.sender.stats_retransmissions for r in group)
+        timeouts = sum(r.sender.stats_timeouts for r in group)
+        rows[implementation] = {
+            "transfers": float(len(group)),
+            "packets": float(packets),
+            "retransmissions": float(rexmits),
+            "rexmit_fraction": rexmits / packets if packets else 0.0,
+            "timeouts": float(timeouts),
+            "mean_throughput": (sum(r.throughput for r in group)
+                                / len(group)),
+        }
+    return rows

@@ -1,0 +1,35 @@
+"""The measurement apparatus: packet filters, clocks, and their errors.
+
+The paper's §3 is about *calibrating* packet-filter measurement; this
+package provides filters whose defects are injectable and therefore
+ground-truth-known, so the analyzer's calibration checks
+(:mod:`repro.core.calibrate`) can be validated exactly.
+"""
+
+from repro.capture.clock import (
+    ClockModel,
+    PerfectClock,
+    QuantizedClock,
+    SkewedClock,
+    SteppingClock,
+)
+from repro.capture.filter import PacketFilter, attach_filter_pair, attach_at_host
+from repro.capture.errors import (
+    DropInjector,
+    DuplicationInjector,
+    ResequencingInjector,
+)
+
+__all__ = [
+    "ClockModel",
+    "PerfectClock",
+    "QuantizedClock",
+    "SkewedClock",
+    "SteppingClock",
+    "PacketFilter",
+    "attach_filter_pair",
+    "attach_at_host",
+    "DropInjector",
+    "DuplicationInjector",
+    "ResequencingInjector",
+]

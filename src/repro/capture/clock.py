@@ -1,0 +1,87 @@
+"""Clock models for packet-filter timestamps (§3.1.4).
+
+A :class:`ClockModel` maps true (simulated wire) time to the timestamp
+a filter writes.  Real tracing machines exhibited relative skew (one
+endpoint's clock runs fast), and step adjustments — including the
+backward steps that produce "time travel", observed more than 500
+times in the paper's traces, all on BSDI 1.1 / NetBSD 1.0 machines
+whose fast-running clocks were periodically yanked back into sync.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class ClockModel:
+    """Interface: translate true time to a recorded timestamp."""
+
+    def read(self, true_time: float) -> float:
+        raise NotImplementedError
+
+
+class PerfectClock(ClockModel):
+    """Timestamps equal true wire time."""
+
+    def read(self, true_time: float) -> float:
+        return true_time
+
+
+@dataclass
+class SkewedClock(ClockModel):
+    """A clock running at a slightly wrong rate: ``offset + rate*t``.
+
+    ``rate`` of 1.0001 means the clock gains 100 ppm — enough, over a
+    long transfer, for paired-trace analysis to detect relative skew.
+    """
+
+    rate: float = 1.0
+    offset: float = 0.0
+
+    def read(self, true_time: float) -> float:
+        return self.offset + self.rate * true_time
+
+
+@dataclass
+class QuantizedClock(ClockModel):
+    """A clock read at finite resolution.
+
+    Mid-1990s Unix kernels timestamped packets from a clock advanced
+    by the scheduling interrupt — 10 ms ticks were common, some
+    systems managed ~1 ms, and only the better packet filters
+    interpolated microseconds.  Quantization hides sub-tick response
+    delays and produces heavy timestamp ties, both of which the
+    analyzer must tolerate.
+
+    Wraps any inner clock model; ``resolution`` is the tick in
+    seconds.
+    """
+
+    inner: ClockModel = field(default_factory=PerfectClock)
+    resolution: float = 0.010
+
+    def read(self, true_time: float) -> float:
+        value = self.inner.read(true_time)
+        if self.resolution <= 0:
+            return value
+        return int(value / self.resolution) * self.resolution
+
+
+@dataclass
+class SteppingClock(ClockModel):
+    """A (possibly skewed) clock subject to step adjustments.
+
+    ``steps`` is a list of ``(true_time, delta)``: at each given true
+    time the clock jumps by ``delta`` seconds (negative = the backward
+    step that causes time travel).  This models periodic hard
+    synchronization of a drifting clock to an external source.
+    """
+
+    rate: float = 1.0
+    offset: float = 0.0
+    steps: list[tuple[float, float]] = field(default_factory=list)
+
+    def read(self, true_time: float) -> float:
+        adjustment = sum(delta for at, delta in self.steps
+                         if true_time >= at)
+        return self.offset + self.rate * true_time + adjustment

@@ -1,0 +1,134 @@
+"""Injectable packet-filter measurement errors (§3.1).
+
+Three injector classes cover the paper's error taxonomy beyond clock
+defects (which live in :mod:`repro.capture.clock`):
+
+* :class:`DropInjector` — the filter fails to record some packets,
+  typically under load (user-level filtering losing the race).  The
+  filter's *report* of its drops is independently configurable, since
+  the paper found reports missing, stale, or simply false.
+* :class:`DuplicationInjector` — the IRIX 5.2/5.3 defect (§3.1.2,
+  Figure 1): outbound packets are copied to the filter twice, once
+  when the OS sources them (early, bogus timing at the OS's data rate)
+  and once when they actually depart onto the Ethernet (accurate,
+  rate-limited timing).
+* :class:`ResequencingInjector` — the Solaris defect (§3.1.3):
+  inbound and outbound packets reach the filter by different code
+  paths with different latencies and are timestamped only when the
+  filter processes them, so trace order and timestamps no longer
+  reflect wire order.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.packets import Segment
+
+
+class DropInjector:
+    """Randomly omit records, as an overloaded filter would.
+
+    ``report_style`` controls what the filter later claims:
+
+    * ``"accurate"`` — reports the true count;
+    * ``"none"`` — the OS offers no drop report (None);
+    * ``"zero"`` — reports 0 despite drops (NetBSD 1.0 / Solaris);
+    * ``"stale"`` — reports a fixed stale count regardless of reality
+      (the IRIX site reporting exactly 62 drops for 256 traces).
+    """
+
+    def __init__(self, rate: float = 0.0, seed: int = 0,
+                 report_style: str = "accurate", stale_count: int = 62):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("drop rate must be in [0, 1]")
+        if report_style not in ("accurate", "none", "zero", "stale"):
+            raise ValueError(f"unknown report style {report_style!r}")
+        self.rate = rate
+        self.report_style = report_style
+        self.stale_count = stale_count
+        self._rng = random.Random(seed)
+        self.true_drops = 0
+
+    def should_drop(self, segment: Segment, outbound: bool) -> bool:
+        if self.rate and self._rng.random() < self.rate:
+            self.true_drops += 1
+            return True
+        return False
+
+    def reported_drops(self) -> int | None:
+        if self.report_style == "accurate":
+            return self.true_drops
+        if self.report_style == "none":
+            return None
+        if self.report_style == "zero":
+            return 0
+        return self.stale_count
+
+
+@dataclass
+class DuplicationInjector:
+    """IRIX-style double copies of outbound packets (§3.1.2).
+
+    The first copy is stamped at OS-sourcing time — packets pour out
+    back-to-back at ``os_rate`` (the >2.5 MB/s slope of Figure 1).
+    The second copy is stamped at Ethernet departure: serialized at
+    ``wire_rate`` (the ~1 MB/s slope).  The injector keeps its own
+    serialization horizon for each slope.
+    """
+
+    os_rate: float = 2.6e6
+    wire_rate: float = 1.0e6
+
+    def __post_init__(self) -> None:
+        self._os_free = 0.0
+        self._wire_free = 0.0
+
+    def timestamps(self, segment: Segment, true_time: float) -> list[float]:
+        """Both capture times for an outbound packet."""
+        size = segment.wire_size
+        os_start = max(true_time, self._os_free)
+        self._os_free = os_start + size / self.os_rate
+        wire_start = max(os_start, self._wire_free)
+        self._wire_free = wire_start + size / self.wire_rate
+        return [self._os_free, self._wire_free]
+
+
+@dataclass
+class ResequencingInjector:
+    """Solaris-style per-direction filter-path latencies (§3.1.3).
+
+    Packets are timestamped when the filter *processes* them:
+    outbound packets ride a fast path (``outbound_lag``), inbound a
+    slow one (``inbound_lag``), and each path preserves its own order
+    but the merge is by processing time.  With a slow inbound path, an
+    ack that arrived (wire) just before a data packet departed gets
+    recorded *after* it — inverting apparent cause and effect.
+
+    ``jitter`` adds uniform noise to each lag, so inversions happen
+    "frequently" rather than always, matching the ~20 % of Solaris
+    self-traces the paper found plagued.
+    """
+
+    outbound_lag: float = 0.0001
+    inbound_lag: float = 0.0025
+    jitter: float = 0.0015
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+        self._out_free = 0.0
+        self._in_free = 0.0
+
+    def process_time(self, true_time: float, outbound: bool) -> float:
+        """When the filter processes (and stamps) this packet."""
+        lag = self.outbound_lag if outbound else self.inbound_lag
+        lag += self._rng.random() * self.jitter
+        if outbound:
+            t = max(true_time + lag, self._out_free)
+            self._out_free = t
+        else:
+            t = max(true_time + lag, self._in_free)
+            self._in_free = t
+        return t

@@ -1,0 +1,107 @@
+"""The packet filter: observes packets at a vantage point, builds a trace.
+
+A :class:`PacketFilter` is attached to taps — at a host (seeing that
+endpoint's inbound and outbound packets, the paper's usual setup) or
+on a link (a passive monitor).  Each observation runs the error
+pipeline: drop injection, timestamping through a clock model (with
+optional resequencing lag), and optional IRIX-style duplication.
+
+The finished :class:`~repro.trace.record.Trace` is ordered the way the
+filter *recorded* packets — which, under resequencing, is not wire
+order.
+"""
+
+from __future__ import annotations
+
+from repro.capture.clock import ClockModel, PerfectClock
+from repro.capture.errors import (
+    DropInjector,
+    DuplicationInjector,
+    ResequencingInjector,
+)
+from repro.netsim.network import Path
+from repro.packets import Segment
+from repro.trace.record import Trace, record_from_segment
+
+
+class PacketFilter:
+    """Records packets into a trace, with configurable defects."""
+
+    def __init__(self, name: str = "filter", vantage: str = "",
+                 clock: ClockModel | None = None,
+                 drops: DropInjector | None = None,
+                 resequencing: ResequencingInjector | None = None,
+                 duplication: DuplicationInjector | None = None):
+        self.name = name
+        self.vantage = vantage
+        self.clock = clock or PerfectClock()
+        self.drops = drops
+        self.resequencing = resequencing
+        self.duplication = duplication
+        #: (ordering key, record) pairs; the key is the time the filter
+        #: processed the packet, which under resequencing differs from
+        #: wire time.
+        self._entries: list[tuple[float, int, object]] = []
+        self._counter = 0
+
+    # -- tap callbacks ---------------------------------------------------
+
+    def observe_outbound(self, segment: Segment, true_time: float) -> None:
+        self._observe(segment, true_time, outbound=True)
+
+    def observe_inbound(self, segment: Segment, true_time: float) -> None:
+        self._observe(segment, true_time, outbound=False)
+
+    def _observe(self, segment: Segment, true_time: float,
+                 outbound: bool) -> None:
+        if self.drops is not None and self.drops.should_drop(segment,
+                                                             outbound):
+            return
+        if outbound and self.duplication is not None:
+            for stamp_time in self.duplication.timestamps(segment, true_time):
+                self._record(segment, stamp_time, stamp_time)
+            return
+        if self.resequencing is not None:
+            stamp_time = self.resequencing.process_time(true_time, outbound)
+        else:
+            stamp_time = true_time
+        self._record(segment, stamp_time, stamp_time)
+
+    def _record(self, segment: Segment, stamp_time: float,
+                order_key: float) -> None:
+        record = record_from_segment(segment, self.clock.read(stamp_time))
+        self._entries.append((order_key, self._counter, record))
+        self._counter += 1
+
+    # -- trace production --------------------------------------------------
+
+    def trace(self) -> Trace:
+        """The completed trace, in filter-recording order."""
+        ordered = sorted(self._entries, key=lambda e: (e[0], e[1]))
+        reported = (self.drops.reported_drops() if self.drops is not None
+                    else 0)
+        return Trace(records=[record for _, _, record in ordered],
+                     vantage=self.vantage, filter_name=self.name,
+                     reported_drops=reported)
+
+
+def attach_at_host(host, packet_filter: PacketFilter) -> PacketFilter:
+    """Run *packet_filter* on *host*, seeing its traffic both ways."""
+    host.send_taps.append(packet_filter.observe_outbound)
+    host.recv_taps.append(packet_filter.observe_inbound)
+    return packet_filter
+
+
+def attach_filter_pair(path: Path,
+                       sender_filter: PacketFilter | None = None,
+                       receiver_filter: PacketFilter | None = None,
+                       ) -> tuple[PacketFilter, PacketFilter]:
+    """Attach filters at both endpoints of a path (the paper's paired
+    measurement setup, needed for clock calibration)."""
+    sender_filter = sender_filter or PacketFilter(vantage="sender")
+    receiver_filter = receiver_filter or PacketFilter(vantage="receiver")
+    sender_filter.vantage = sender_filter.vantage or "sender"
+    receiver_filter.vantage = receiver_filter.vantage or "receiver"
+    attach_at_host(path.sender, sender_filter)
+    attach_at_host(path.receiver, receiver_filter)
+    return sender_filter, receiver_filter

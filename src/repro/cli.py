@@ -1,0 +1,242 @@
+"""The ``tcpanaly`` command-line front end.
+
+Subcommands:
+
+``analyze TRACE.pcap [--implementation LABEL] [--peer PEER.pcap]``
+    Run calibration plus sender/receiver behavior analysis on a trace.
+
+``identify TRACE.pcap``
+    Run every known implementation against the trace and rank the fits.
+
+``simulate IMPLEMENTATION [--scenario NAME] [--size BYTES] [--out X]``
+    Run a simulated bulk transfer with the named stack and write the
+    sender- and receiver-side traces as pcap files.
+
+``calibrate TRACE.pcap [--peer PEER.pcap] [-i LABEL]``
+    Run only the §3 measurement-error battery on a trace.
+
+``corpus OUTDIR [--per-implementation N]``
+    Generate a trace corpus (pcap pairs per implementation), the
+    synthetic analogue of the paper's Table 1 data set.
+
+``stats TRACE.pcap``
+    Per-connection summary statistics (tcptrace-style); handles
+    multi-connection captures.
+
+``list``
+    List the known implementations and scenarios.
+
+``plot TRACE.pcap``
+    Print an ASCII time-sequence plot of the trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.seqplot import render_ascii_plot, sequence_plot
+from repro.core.fit import identify_implementation
+from repro.core.report import analyze_trace
+from repro.harness.scenarios import SCENARIOS, traced_transfer
+from repro.tcp.catalog import CATALOG, get_behavior
+from repro.trace.pcap import read_pcap, write_pcap
+from repro.units import kbyte
+
+
+def _command_analyze(args: argparse.Namespace) -> int:
+    trace = read_pcap(args.trace)
+    behavior = get_behavior(args.implementation) if args.implementation \
+        else None
+    peer = read_pcap(args.peer) if args.peer else None
+    report = analyze_trace(trace, behavior, peer_trace=peer,
+                           identify=args.identify,
+                           headers_only=args.headers_only)
+    print(report.render())
+    return 0
+
+
+def _command_identify(args: argparse.Namespace) -> int:
+    trace = read_pcap(args.trace)
+    if args.receiver:
+        from repro.core.fit import identify_receiver
+        fits = identify_receiver(trace)
+        for fit in fits:
+            notes = ("; ".join(fit.inconsistencies)
+                     if fit.inconsistencies else "")
+            print(f"  {fit.implementation:16s} {fit.category:10s} {notes}")
+        close = [f.implementation for f in fits if f.category == "close"]
+        print(f"\nacking-policy close fits: {', '.join(close) or 'none'}")
+        return 0
+    report = identify_implementation(trace)
+    print(report.summary())
+    best = report.best
+    if best is not None and best.category == "close":
+        print(f"\nbest fit: {best.implementation}")
+    else:
+        print("\nno close fit found: either a measurement problem or an "
+              "implementation unknown to tcpanaly")
+    return 0
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    behavior = get_behavior(args.implementation)
+    transfer = traced_transfer(behavior, args.scenario,
+                               data_size=args.size, seed=args.seed)
+    sender_path = f"{args.out}-sender.pcap"
+    receiver_path = f"{args.out}-receiver.pcap"
+    write_pcap(transfer.sender_trace, sender_path)
+    write_pcap(transfer.receiver_trace, receiver_path)
+    result = transfer.result
+    print(f"{args.implementation} on {args.scenario}: "
+          f"{'completed' if result.completed else 'INCOMPLETE'} in "
+          f"{result.duration:.3f}s, "
+          f"{result.sender.stats_data_packets} data packets, "
+          f"{result.sender.stats_retransmissions} retransmissions, "
+          f"throughput {result.throughput / 1024:.1f} KB/s")
+    print(f"wrote {sender_path} and {receiver_path}")
+    return 0
+
+
+def _command_calibrate(args: argparse.Namespace) -> int:
+    from repro.core.calibrate import calibrate_trace
+    trace = read_pcap(args.trace)
+    behavior = get_behavior(args.implementation) if args.implementation \
+        else None
+    peer = read_pcap(args.peer) if args.peer else None
+    report = calibrate_trace(trace, behavior, peer_trace=peer)
+    print(report.summary())
+    if report.clean:
+        print("verdict: no measurement errors detected")
+        return 0
+    print("verdict: measurement errors present — findings follow")
+    for evidence in report.drop_evidence[:20]:
+        print(f"  drop evidence [{evidence.check}] t={evidence.time:.6f}: "
+              f"{evidence.detail}")
+    for event in report.resequencing[:20]:
+        print(f"  resequencing [{event.situation}] t={event.time:.6f}: "
+              f"{event.detail}")
+    for event in report.time_travel[:20]:
+        print(f"  time travel at record {event.index}: clock stepped back "
+              f"{event.magnitude * 1e3:.1f} ms")
+    if report.duplicates:
+        print(f"  {len(report.duplicates)} measurement duplicates "
+              f"(IRIX-style double copies)")
+    return 1
+
+
+def _command_corpus(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.harness.corpus import generate_corpus
+    outdir = pathlib.Path(args.outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    count = 0
+    for entry in generate_corpus(
+            traces_per_implementation=args.per_implementation,
+            data_size=args.size):
+        stem = f"{entry.implementation}-{count:04d}"
+        write_pcap(entry.sender_trace, outdir / f"{stem}-sender.pcap")
+        write_pcap(entry.receiver_trace, outdir / f"{stem}-receiver.pcap")
+        count += 1
+    print(f"wrote {count} trace pairs to {outdir}")
+    return 0
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    from repro.analysis.connstats import connection_stats, split_connections
+    trace = read_pcap(args.trace)
+    connections = split_connections(trace)
+    print(f"{len(connections)} connection(s) in {args.trace}")
+    for connection in connections.values():
+        print()
+        print(connection_stats(connection).render())
+    return 0
+
+
+def _command_list(args: argparse.Namespace) -> int:
+    print("implementations:")
+    for label, behavior in sorted(CATALOG.items()):
+        print(f"  {label:16s} lineage={behavior.lineage.value}")
+    print("\nscenarios:")
+    for name, scenario in SCENARIOS.items():
+        print(f"  {name:18s} {scenario.description}")
+    return 0
+
+
+def _command_plot(args: argparse.Namespace) -> int:
+    trace = read_pcap(args.trace)
+    print(render_ascii_plot(sequence_plot(trace, title=args.trace)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tcpanaly",
+        description="Automated packet trace analysis of TCP implementations")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze", help="analyze one trace")
+    analyze.add_argument("trace")
+    analyze.add_argument("--implementation", "-i", default=None,
+                         help="candidate implementation label")
+    analyze.add_argument("--peer", default=None,
+                         help="peer-side trace for timing calibration")
+    analyze.add_argument("--identify", action="store_true",
+                         help="also rank all known implementations")
+    analyze.add_argument("--headers-only", action="store_true",
+                         help="treat the trace as header-only (infer "
+                         "corruption instead of verifying checksums)")
+    analyze.set_defaults(handler=_command_analyze)
+
+    identify = sub.add_parser("identify",
+                              help="rank all known implementations")
+    identify.add_argument("trace")
+    identify.add_argument("--receiver", action="store_true",
+                          help="identify by receiver acking policy "
+                          "instead of sender congestion behavior")
+    identify.set_defaults(handler=_command_identify)
+
+    simulate = sub.add_parser("simulate",
+                              help="simulate a transfer, write pcaps")
+    simulate.add_argument("implementation")
+    simulate.add_argument("--scenario", default="wan",
+                          choices=sorted(SCENARIOS))
+    simulate.add_argument("--size", type=int, default=kbyte(100))
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--out", default="transfer")
+    simulate.set_defaults(handler=_command_simulate)
+
+    calibrate = sub.add_parser("calibrate",
+                               help="measurement-error checks only")
+    calibrate.add_argument("trace")
+    calibrate.add_argument("--implementation", "-i", default=None)
+    calibrate.add_argument("--peer", default=None)
+    calibrate.set_defaults(handler=_command_calibrate)
+
+    corpus = sub.add_parser("corpus", help="generate a trace corpus")
+    corpus.add_argument("outdir")
+    corpus.add_argument("--per-implementation", type=int, default=2)
+    corpus.add_argument("--size", type=int, default=kbyte(100))
+    corpus.set_defaults(handler=_command_corpus)
+
+    stats = sub.add_parser("stats", help="per-connection statistics")
+    stats.add_argument("trace")
+    stats.set_defaults(handler=_command_stats)
+
+    lister = sub.add_parser("list", help="list implementations & scenarios")
+    lister.set_defaults(handler=_command_list)
+
+    plot = sub.add_parser("plot", help="ASCII time-sequence plot")
+    plot.add_argument("trace")
+    plot.set_defaults(handler=_command_plot)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

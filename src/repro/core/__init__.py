@@ -1,0 +1,37 @@
+"""tcpanaly: the trace analyzer (the paper's contribution).
+
+Public surface:
+
+* :func:`repro.core.sender.analyzer.analyze_sender` — sender-behavior
+  analysis of one trace against one candidate implementation (§6).
+* :func:`repro.core.receiver.analyzer.analyze_receiver` — receiver
+  (acking-policy) analysis (§7, §9).
+* :func:`repro.core.fit.identify_implementation` — run every catalog
+  implementation against a trace and sort into close / imperfect /
+  clearly-incorrect fits (§5, §6.1).
+* :mod:`repro.core.calibrate` — packet-filter measurement-error
+  detection (§3): drops, additions, resequencing, timing.
+"""
+
+from repro.core.sender.analyzer import analyze_sender, SenderAnalysis
+from repro.core.receiver.analyzer import analyze_receiver, ReceiverAnalysis
+from repro.core.fit import (
+    FitReport,
+    ReceiverFit,
+    identify_implementation,
+    identify_receiver,
+)
+from repro.core.calibrate import calibrate_trace, CalibrationReport
+
+__all__ = [
+    "analyze_sender",
+    "SenderAnalysis",
+    "analyze_receiver",
+    "ReceiverAnalysis",
+    "identify_implementation",
+    "identify_receiver",
+    "FitReport",
+    "ReceiverFit",
+    "calibrate_trace",
+    "CalibrationReport",
+]

@@ -1,0 +1,293 @@
+"""Filter-drop self-consistency checks (§3.1.1).
+
+Filters cannot be trusted to report their own drops, so tcpanaly
+infers them.  The key discipline: never mistake a *network* drop for a
+*filter* drop.  TCP's reliability is the lever — a correct TCP repairs
+real losses (retransmissions, dup acks) but reacts not at all to
+filter drops, because the packets really were delivered.
+
+Eight checks, each looking for a TCP apparently sending at an
+inappropriate time or failing to send at an appropriate one:
+
+1.  ``ack_for_unseen_data`` — an inbound ack acknowledges data the
+    trace never shows being sent.
+2.  ``sequence_gap`` — the sender's data stream skips sequence space
+    it never sent before; senders cannot skip ahead.
+3.  ``window_violation`` — data sent beyond the congestion/offered
+    window as computed for the traced implementation; requires the
+    behavior model, and is the most powerful check (§3.1.1).
+4.  ``fast_retransmit_without_dups`` — a fast retransmission appears
+    but the trace records fewer duplicate acks than the threshold.
+5.  ``ack_regression`` — an endpoint's cumulative ack goes backwards;
+    rcv_nxt is monotone, so records are missing or reordered.
+6.  ``dup_acks_without_cause`` — duplicate acks recorded without any
+    out-of-order arrival to provoke them (receiver vantage).
+7.  ``stretch_ack_gap`` — an outbound ack advances over data the
+    receiver-side trace never shows arriving.
+8.  ``retransmission_of_unseen`` — a retransmitted segment whose
+    original transmission never appears in the trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tcp.params import TCPBehavior
+from repro.trace.record import Trace, TraceRecord
+from repro.units import seq_diff, seq_gt, seq_le, seq_lt
+
+
+@dataclass(frozen=True)
+class DropEvidence:
+    """One piece of evidence that the filter dropped packets."""
+
+    check: str
+    time: float
+    detail: str
+    record: TraceRecord | None = None
+
+
+def run_drop_checks(trace: Trace,
+                    behavior: TCPBehavior | None = None,
+                    vantage: str | None = None) -> list[DropEvidence]:
+    """Run the checks valid at this trace's vantage point.
+
+    Vantage matters (§3.2): a sequence gap at the *sender* proves the
+    filter missed a send (senders cannot skip sequence space), but at
+    the *receiver* it is an ordinary network drop; an unprovoked dup
+    ack proves drops only at the receiver; and so on.  The behavior-
+    dependent checks (window violation, fast-retransmit dup counting)
+    need *behavior* and are skipped without it.
+    """
+    if not trace.records:
+        return []
+    try:
+        flow = trace.primary_flow()
+    except ValueError:
+        return []
+    from repro.core.vantage import infer_vantage
+    if vantage is None:
+        vantage = infer_vantage(trace)
+
+    evidence: list[DropEvidence] = []
+    if vantage == "sender":
+        evidence += check_ack_for_unseen_data(trace, flow)
+        evidence += check_sequence_gap(trace, flow)
+        evidence += check_retransmission_of_unseen(trace, flow)
+        if behavior is not None:
+            evidence += check_window_violation(trace, flow, behavior)
+            evidence += check_fast_retransmit_without_dups(trace, flow,
+                                                           behavior)
+    else:
+        evidence += check_stretch_ack_gap(trace, flow)
+        evidence += check_dup_acks_without_cause(trace, flow)
+        evidence += check_ack_regression(trace, flow)
+    evidence.sort(key=lambda e: e.time)
+    return evidence
+
+
+def check_ack_for_unseen_data(trace: Trace, flow) -> list[DropEvidence]:
+    """Check 1: acks acknowledging data the trace never recorded."""
+    evidence = []
+    highest_sent = None
+    for record in trace:
+        if record.flow == flow and (record.payload > 0 or record.is_syn
+                                    or record.is_fin):
+            if highest_sent is None or seq_gt(record.seq_end, highest_sent):
+                highest_sent = record.seq_end
+        elif record.flow == flow.reversed() and record.has_ack \
+                and not record.is_syn:
+            if highest_sent is not None and seq_gt(record.ack, highest_sent):
+                evidence.append(DropEvidence(
+                    "ack_for_unseen_data", record.timestamp,
+                    f"ack {record.ack} exceeds highest recorded data "
+                    f"{highest_sent}", record))
+                highest_sent = record.ack  # resync; report each gap once
+    return evidence
+
+
+def check_sequence_gap(trace: Trace, flow) -> list[DropEvidence]:
+    """Check 2: the data stream skips never-before-sent sequence space."""
+    evidence = []
+    highest_sent = None
+    for record in trace:
+        if record.flow != flow or record.payload == 0:
+            continue
+        if highest_sent is not None and seq_gt(record.seq, highest_sent):
+            evidence.append(DropEvidence(
+                "sequence_gap", record.timestamp,
+                f"data jumps from {highest_sent} to {record.seq} "
+                f"({seq_diff(record.seq, highest_sent)} bytes unrecorded)",
+                record))
+        if highest_sent is None or seq_gt(record.seq_end, highest_sent):
+            highest_sent = record.seq_end
+    return evidence
+
+
+def check_ack_regression(trace: Trace, flow) -> list[DropEvidence]:
+    """Check 5: cumulative acknowledgements are monotone."""
+    evidence = []
+    highest_ack = None
+    reverse = flow.reversed()
+    for record in trace:
+        if record.flow != reverse or not record.has_ack or record.is_syn:
+            continue
+        if highest_ack is not None and seq_lt(record.ack, highest_ack):
+            evidence.append(DropEvidence(
+                "ack_regression", record.timestamp,
+                f"ack regressed from {highest_ack} to {record.ack}", record))
+        if highest_ack is None or seq_gt(record.ack, highest_ack):
+            highest_ack = record.ack
+    return evidence
+
+
+def check_dup_acks_without_cause(trace: Trace, flow) -> list[DropEvidence]:
+    """Check 6: duplicate acks must be provoked by data arrivals.
+
+    At the receiver's vantage every dup ack follows the arrival that
+    provoked it (out-of-order or duplicate data).  A dup ack with no
+    arrival since the previous ack means an arrival went unrecorded.
+    At the sender's vantage arrivals are invisible, so the check is
+    only meaningful for receiver-side traces; it keys on whether the
+    trace shows any data *arriving* at the acking endpoint.
+    """
+    evidence = []
+    reverse = flow.reversed()
+    arrivals_since_ack = 0
+    last_ack = None
+    saw_arrival = False
+    for record in trace:
+        if record.flow == flow and (record.payload > 0 or record.is_fin):
+            arrivals_since_ack += 1
+            saw_arrival = True
+        elif record.flow == reverse and record.has_ack and not record.is_syn:
+            if (saw_arrival and last_ack is not None
+                    and record.ack == last_ack and record.payload == 0
+                    and arrivals_since_ack == 0 and not record.is_fin):
+                evidence.append(DropEvidence(
+                    "dup_acks_without_cause", record.timestamp,
+                    f"duplicate ack {record.ack} with no recorded arrival "
+                    f"to provoke it", record))
+            last_ack = record.ack
+            arrivals_since_ack = 0
+    return evidence
+
+
+def check_stretch_ack_gap(trace: Trace, flow) -> list[DropEvidence]:
+    """Check 7: an ack advancing over data never recorded arriving.
+
+    Receiver-vantage version of check 1: the acking endpoint's own
+    outbound acks can only cover data the trace shows arriving.
+    """
+    evidence = []
+    reverse = flow.reversed()
+    rcv_high = None    # highest contiguous arrival boundary seen
+    seen: list[tuple[int, int]] = []
+    for record in trace:
+        if record.flow == flow and (record.payload > 0 or record.is_syn
+                                    or record.is_fin):
+            seen.append((record.seq, record.seq_end))
+            if rcv_high is None:
+                rcv_high = record.seq_end
+            changed = True
+            while changed:
+                changed = False
+                for start, end in seen:
+                    if seq_le(start, rcv_high) and seq_gt(end, rcv_high):
+                        rcv_high = end
+                        changed = True
+        elif record.flow == reverse and record.has_ack and not record.is_syn:
+            if rcv_high is not None and seq_gt(record.ack, rcv_high):
+                evidence.append(DropEvidence(
+                    "stretch_ack_gap", record.timestamp,
+                    f"ack {record.ack} covers data never recorded "
+                    f"arriving (recorded through {rcv_high})", record))
+                rcv_high = record.ack
+    return evidence
+
+
+def check_retransmission_of_unseen(trace: Trace, flow) -> list[DropEvidence]:
+    """Check 8: a segment is re-sent whose original never appears.
+
+    A retransmission is identifiable as data below the highest sent
+    sequence; its start must match some earlier record's start.
+    """
+    evidence = []
+    highest_sent = None
+    starts_seen: set[int] = set()
+    for record in trace:
+        if record.flow != flow or record.payload == 0:
+            continue
+        if (highest_sent is not None and seq_lt(record.seq, highest_sent)
+                and record.seq not in starts_seen):
+            evidence.append(DropEvidence(
+                "retransmission_of_unseen", record.timestamp,
+                f"retransmission of {record.seq} whose original "
+                f"transmission is unrecorded", record))
+        starts_seen.add(record.seq)
+        if highest_sent is None or seq_gt(record.seq_end, highest_sent):
+            highest_sent = record.seq_end
+    return evidence
+
+
+def check_window_violation(trace: Trace, flow,
+                           behavior: TCPBehavior) -> list[DropEvidence]:
+    """Check 3: data beyond the computed congestion window (§3.1.1).
+
+    The most powerful check: it requires understanding exactly how the
+    traced implementation manages its congestion window, which the
+    sender analyzer provides.  A violation here, on a trace whose
+    implementation is otherwise known-good, indicates the filter
+    dropped the ack(s) that would have opened the window.
+    """
+    from repro.core.sender.analyzer import TraceUnusable, analyze_sender
+    try:
+        analysis = analyze_sender(trace, behavior)
+    except (TraceUnusable, ValueError):
+        return []
+    return [DropEvidence("window_violation", v.record.timestamp,
+                         v.note, v.record)
+            for v in analysis.violations]
+
+
+def check_fast_retransmit_without_dups(trace: Trace, flow,
+                                       behavior: TCPBehavior
+                                       ) -> list[DropEvidence]:
+    """Check 4: fast retransmissions need their duplicate acks.
+
+    If the traced TCP fast-retransmits (re-sends snd_una without a
+    timeout-scale pause) but the trace shows fewer dup acks than the
+    implementation's threshold, the filter missed acks.
+    """
+    if not behavior.fast_retransmit:
+        return []
+    evidence = []
+    reverse = flow.reversed()
+    highest_sent = None
+    last_advance_time = None
+    dup_count = 0
+    dup_level = None
+    for record in trace:
+        if record.flow == reverse and record.has_ack and not record.is_syn:
+            if dup_level is not None and record.ack == dup_level \
+                    and record.payload == 0:
+                dup_count += 1
+            else:
+                dup_level = record.ack
+                dup_count = 0
+                last_advance_time = record.timestamp
+        elif record.flow == flow and record.payload > 0:
+            if highest_sent is not None and seq_lt(record.seq, highest_sent):
+                quick = (last_advance_time is not None
+                         and record.timestamp - last_advance_time < 0.15)
+                if (quick and dup_level is not None
+                        and record.seq == dup_level
+                        and 0 < dup_count < behavior.dup_ack_threshold):
+                    evidence.append(DropEvidence(
+                        "fast_retransmit_without_dups", record.timestamp,
+                        f"fast retransmission of {record.seq} after only "
+                        f"{dup_count} recorded dup acks "
+                        f"(threshold {behavior.dup_ack_threshold})", record))
+            if highest_sent is None or seq_gt(record.seq_end, highest_sent):
+                highest_sent = record.seq_end
+    return evidence

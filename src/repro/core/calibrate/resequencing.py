@@ -1,0 +1,160 @@
+"""Filter-resequencing detection (§3.1.3).
+
+Resequencing — the filter recording packets in an order that does not
+reflect the network — destroys cause-and-effect analysis, so tcpanaly
+must notice it and distrust the trace.  Three situations give it away:
+
+(i)   a data packet sent after a lengthy lull, followed *very shortly*
+      by an ack — the real cause, recorded too late;
+(ii)  a data packet sent in violation of the congestion or offered
+      window, shortly followed by an ack that would have permitted it
+      (this one needs the behavior model, and is delegated to the
+      sender analyzer's look-ahead);
+(iii) an ack for data that has not yet arrived — which then arrives
+      very shortly afterward (receiver vantage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tcp.params import TCPBehavior
+from repro.trace.record import Trace, TraceRecord
+from repro.units import seq_ge, seq_gt
+
+#: "Very shortly": resequencing events involve time scales of a few
+#: hundred microseconds to a few milliseconds (§3.1.3).
+SHORTLY = 0.010
+#: "A lengthy lull" before the suspicious data packet.
+LULL = 0.100
+
+
+@dataclass(frozen=True)
+class ResequencingEvent:
+    """One detected inversion of recorded cause and effect."""
+
+    situation: str             # "lull_then_ack" (i), "window_then_ack" (ii),
+    #                            "ack_before_arrival" (iii)
+    time: float
+    data_record: TraceRecord | None
+    ack_record: TraceRecord | None
+    detail: str = ""
+
+
+def detect_resequencing(trace: Trace,
+                        behavior: TCPBehavior | None = None,
+                        vantage: str | None = None
+                        ) -> list[ResequencingEvent]:
+    """Run the resequencing detectors applicable at this vantage."""
+    if not trace.records:
+        return []
+    try:
+        flow = trace.primary_flow()
+    except ValueError:
+        return []
+    from repro.core.vantage import infer_vantage
+    if vantage is None:
+        vantage = infer_vantage(trace)
+    if vantage == "sender":
+        events = detect_lull_then_ack(trace, flow)
+        if behavior is not None:
+            events += detect_window_then_ack(trace, behavior)
+    else:
+        events = detect_ack_before_arrival(trace, flow)
+    events.sort(key=lambda e: e.time)
+    return events
+
+
+def detect_lull_then_ack(trace: Trace, flow) -> list[ResequencingEvent]:
+    """Situation (i): data after a lull, trailed closely by an ack.
+
+    A sender that has been idle sends *because something arrived*;
+    if the arrival is recorded just after instead, the filter
+    reordered them.
+    """
+    events = []
+    records = trace.records
+    reverse = flow.reversed()
+    last_send: float | None = None
+    for i, record in enumerate(records):
+        if record.flow != flow or record.payload == 0:
+            continue
+        lulled = last_send is not None and \
+            record.timestamp - last_send > LULL
+        last_send = record.timestamp
+        if not lulled:
+            continue
+        # Was there an inbound advancing ack *just before* that
+        # explains the send?  If so, no anomaly.
+        explained = any(
+            earlier.flow == reverse and earlier.has_ack
+            and record.timestamp - earlier.timestamp <= LULL
+            for earlier in records[max(0, i - 6):i])
+        if explained:
+            continue
+        for later in records[i + 1:i + 6]:
+            if later.timestamp - record.timestamp > SHORTLY:
+                break
+            if (later.flow == reverse and later.has_ack
+                    and seq_ge(later.ack, record.seq)):
+                events.append(ResequencingEvent(
+                    "lull_then_ack", record.timestamp, record, later,
+                    f"data at {record.timestamp:.6f} after "
+                    f"a lull; liberating ack recorded "
+                    f"{(later.timestamp - record.timestamp) * 1e6:.0f} us "
+                    f"later"))
+                break
+    return events
+
+
+def detect_ack_before_arrival(trace: Trace, flow) -> list[ResequencingEvent]:
+    """Situation (iii): an ack for data recorded as arriving later.
+
+    Only meaningful at the receiver's vantage, where the trace shows
+    the acked data arriving; the outbound ack must never precede the
+    arrival it acknowledges.
+    """
+    events = []
+    records = trace.records
+    reverse = flow.reversed()
+    rcv_high: int | None = None
+    for i, record in enumerate(records):
+        if record.flow == flow and (record.payload > 0 or record.is_syn):
+            if rcv_high is None or seq_gt(record.seq_end, rcv_high):
+                rcv_high = record.seq_end
+        elif (record.flow == reverse and record.has_ack
+              and not record.is_syn):
+            if rcv_high is None or not seq_gt(record.ack, rcv_high):
+                continue
+            # The ack covers unseen data: does it arrive very shortly?
+            for later in records[i + 1:i + 6]:
+                if later.timestamp - record.timestamp > SHORTLY:
+                    break
+                if (later.flow == flow and later.payload > 0
+                        and seq_ge(later.seq_end, record.ack)):
+                    events.append(ResequencingEvent(
+                        "ack_before_arrival", record.timestamp, later,
+                        record,
+                        f"ack {record.ack} precedes the arrival it "
+                        f"acknowledges by "
+                        f"{(later.timestamp - record.timestamp) * 1e6:.0f} "
+                        f"us"))
+                    rcv_high = record.ack
+                    break
+    return events
+
+
+def detect_window_then_ack(trace: Trace,
+                           behavior: TCPBehavior) -> list[ResequencingEvent]:
+    """Situation (ii): window-violating data explained by a
+    just-after ack — found by the sender analyzer's look-ahead."""
+    from repro.core.sender.analyzer import TraceUnusable, analyze_sender
+    try:
+        analysis = analyze_sender(trace, behavior)
+    except (TraceUnusable, ValueError):
+        return []
+    return [
+        ResequencingEvent("window_then_ack", clue.record.timestamp,
+                          clue.record, None, clue.note)
+        for clue in analysis.resequencing_clues
+    ]

@@ -1,0 +1,276 @@
+"""Implementation identification: fit sorting (§5, §6.1).
+
+tcpanaly can run every implementation it knows against a trace and
+sort the candidates into **close**, **imperfect**, and
+**clearly-incorrect** fits.  The discriminators are exactly the
+paper's: window violations (a correct model should see none) and
+response-delay statistics (a correct model's liberations line up with
+actual sends, so delays stay small; a wrong model's liberations are
+wrong, inflating delays or producing violations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tcp.catalog import CATALOG
+from repro.tcp.params import TCPBehavior
+from repro.trace.record import Trace
+
+from repro.core.sender.analyzer import (
+    SenderAnalysis,
+    TraceUnusable,
+    analyze_sender,
+)
+
+#: Mean response delay below which a violation-free analysis is a
+#: close fit.  Kernel response delays are sub-millisecond; tens of
+#: milliseconds of *systematic* delay mean the model misattributes
+#: liberations.
+CLOSE_DELAY = 0.030
+#: Beyond this mean response delay the model clearly misunderstands
+#: the TCP even if nothing violated outright.
+INCORRECT_DELAY = 0.250
+
+
+@dataclass
+class CandidateFit:
+    """One candidate implementation's fit against a trace."""
+
+    implementation: str
+    category: str              # close / imperfect / incorrect / unusable
+    analysis: SenderAnalysis | None = None
+    score: float = float("inf")
+
+    @property
+    def violations(self) -> int:
+        return self.analysis.violation_count if self.analysis else -1
+
+
+@dataclass
+class FitReport:
+    """All candidates sorted by fit quality."""
+
+    fits: list[CandidateFit] = field(default_factory=list)
+
+    @property
+    def close(self) -> list[CandidateFit]:
+        return [f for f in self.fits if f.category == "close"]
+
+    @property
+    def imperfect(self) -> list[CandidateFit]:
+        return [f for f in self.fits if f.category == "imperfect"]
+
+    @property
+    def incorrect(self) -> list[CandidateFit]:
+        return [f for f in self.fits if f.category == "incorrect"]
+
+    @property
+    def best(self) -> CandidateFit | None:
+        return self.fits[0] if self.fits else None
+
+    def summary(self) -> str:
+        lines = []
+        for fit in self.fits:
+            if fit.analysis is None:
+                lines.append(f"  {fit.implementation:16s} unusable")
+                continue
+            lines.append(
+                f"  {fit.implementation:16s} {fit.category:10s} "
+                f"violations={fit.analysis.violation_count:3d} "
+                f"mean_delay={fit.analysis.mean_response_delay * 1e3:7.2f}ms")
+        return "\n".join(lines)
+
+
+def fit_candidate(trace: Trace, behavior: TCPBehavior,
+                  implementation: str) -> CandidateFit:
+    """Analyze one candidate and categorize its fit."""
+    try:
+        analysis = analyze_sender(trace, behavior, implementation)
+    except (TraceUnusable, ValueError):
+        return CandidateFit(implementation, "unusable")
+    violations = analysis.violation_count
+    mean_delay = analysis.mean_response_delay
+    # Unexplained lulls and forced resyncs degrade the fit the same
+    # way violations do; resequencing clues do not (they indict the
+    # filter, not the model).
+    if violations == 0 and mean_delay <= CLOSE_DELAY:
+        category = "close"
+    elif violations == 0 and mean_delay <= INCORRECT_DELAY:
+        category = "imperfect"
+    elif violations <= max(1, len(analysis.classifications) // 50) \
+            and mean_delay <= INCORRECT_DELAY:
+        category = "imperfect"
+    else:
+        category = "incorrect"
+    # Score for ranking: violations dominate, then mean delay.
+    score = violations * 10.0 + mean_delay
+    return CandidateFit(implementation, category, analysis, score)
+
+
+def identify_implementation(trace: Trace,
+                            candidates: dict[str, TCPBehavior] | None = None
+                            ) -> FitReport:
+    """Run every candidate against *trace* and rank the fits."""
+    candidates = candidates or CATALOG
+    fits = [fit_candidate(trace, behavior, implementation)
+            for implementation, behavior in sorted(candidates.items())]
+    fits.sort(key=lambda f: (f.analysis is None, f.score))
+    return FitReport(fits=fits)
+
+
+# ---------------------------------------------------------------------------
+# Receiver-side identification (§7, §9).
+#
+# Acking policy separates implementations that sender analysis cannot:
+# the paper's one observed difference between Solaris 2.3 and 2.4 is a
+# receiver acking bug (§8.6).  Each candidate is scored by how well the
+# observed ack timing and aggregation match its policy.
+# ---------------------------------------------------------------------------
+
+#: Slack added to a policy's nominal ack deadline before an observed
+#: delay counts against a candidate (kernel delay + vantage slop).
+POLICY_DELAY_SLACK = 0.012
+
+
+@dataclass
+class ReceiverFit:
+    """One candidate's receiver-policy fit against a trace."""
+
+    implementation: str
+    category: str              # close / imperfect / incorrect / unusable
+    score: float = float("inf")
+    inconsistencies: list[str] = None
+
+    def __post_init__(self):
+        if self.inconsistencies is None:
+            self.inconsistencies = []
+
+
+def _expected_delay_ceiling(behavior: TCPBehavior) -> float:
+    from repro.tcp.params import AckPolicy
+    if behavior.ack_policy is AckPolicy.EVERY_PACKET:
+        return 0.003
+    return behavior.delayed_ack_timeout + POLICY_DELAY_SLACK
+
+
+def score_receiver_policy(analysis, behavior: TCPBehavior) -> ReceiverFit:
+    """Score how well *behavior*'s acking policy explains *analysis*."""
+    from repro.tcp.params import AckPolicy
+    inconsistencies: list[str] = []
+
+    data_ack_kinds = ("delayed", "normal", "stretch")
+    data_acks = [e for e in analysis.explanations
+                 if e.kind in data_ack_kinds]
+    if not data_acks:
+        return ReceiverFit(analysis.implementation, "unusable")
+
+    # 1. Delayed-ack delays must fit under the policy's timer.
+    ceiling = _expected_delay_ceiling(behavior)
+    late = [e for e in analysis.explanations
+            if e.kind == "delayed" and e.generation_delay is not None
+            and e.generation_delay > ceiling]
+    if late:
+        inconsistencies.append(
+            f"{len(late)} delayed acks exceed the policy's "
+            f"{ceiling * 1e3:.0f} ms ceiling")
+
+    # 2. An every-packet acker never aggregates (no normal/stretch).
+    aggregated = sum(1 for e in data_acks if e.kind in ("normal", "stretch"))
+    if behavior.ack_policy is AckPolicy.EVERY_PACKET and aggregated:
+        inconsistencies.append(
+            f"{aggregated} aggregated acks from an every-packet policy")
+
+    # 3. Aggregation threshold: stretch acks mean the receiver waits
+    #    beyond two segments; their share must match ack_every_segments.
+    stretch = sum(1 for e in data_acks if e.kind == "stretch")
+    stretch_share = stretch / len(data_acks)
+    if behavior.ack_every_segments <= 2 \
+            and behavior.ack_policy is not AckPolicy.EVERY_PACKET \
+            and stretch_share > 0.10:
+        inconsistencies.append(
+            f"{stretch} stretch acks from an every-2-segments policy")
+    if behavior.ack_every_segments > 2 and stretch_share < 0.10 \
+            and len(data_acks) > 20:
+        inconsistencies.append(
+            "no stretch acks despite an every-3-segments policy")
+
+    # 4. Interval-timer policies stamp delayed acks AT the timer; a
+    #    heartbeat spreads them uniformly below it.
+    delays = [e.generation_delay for e in analysis.explanations
+              if e.kind == "delayed" and e.generation_delay is not None
+              and "in_sequence" in e.discharged_reasons]
+    if len(delays) >= 3 and behavior.ack_policy is AckPolicy.INTERVAL_50MS:
+        off_timer = [d for d in delays
+                     if not (behavior.delayed_ack_timeout - 0.005
+                             <= d <= ceiling)]
+        if len(off_timer) > len(delays) // 3:
+            inconsistencies.append(
+                f"{len(off_timer)}/{len(delays)} delayed acks away from "
+                f"the {behavior.delayed_ack_timeout * 1e3:.0f} ms timer")
+
+    # 5. A timer policy cannot ack lone segments at kernel speed: its
+    #    delayed acks wait for the timer.  Sub-5-ms delayed acks in
+    #    volume mean an every-packet acker.
+    if delays and behavior.ack_policy is not AckPolicy.EVERY_PACKET:
+        instant = [d for d in delays if d < 0.005]
+        if len(instant) > max(1, len(delays) // 3):
+            inconsistencies.append(
+                f"{len(instant)}/{len(delays)} delayed acks generated "
+                f"instantly despite a timer policy")
+
+    # 6. A free-running heartbeat spreads delayed-ack delays across
+    #    [0, timeout); a tight cluster means an interval timer.
+    if (len(delays) >= 5
+            and behavior.ack_policy is AckPolicy.HEARTBEAT_200MS):
+        spread = max(delays) - min(delays)
+        if spread < 0.015 and min(delays) > 0.005:
+            inconsistencies.append(
+                f"delayed-ack delays cluster within "
+                f"{spread * 1e3:.1f} ms — not a free-running heartbeat")
+
+    # 7. Hole-fill acking: immediate vs delayed (Solaris 2.3 vs 2.4).
+    #    Only small fills discriminate: a fill advancing by two or
+    #    more full segments is acked immediately under *both* policies
+    #    (the ack-every-two-segments rule fires regardless).
+    hole_acks = [e for e in analysis.explanations
+                 if "hole_fill" in e.discharged_reasons
+                 and e.generation_delay is not None
+                 and 0 < e.acked_bytes < 2 * analysis.full_size]
+    if hole_acks:
+        slow = [e for e in hole_acks if e.generation_delay > 0.010]
+        if behavior.immediate_ack_on_hole_fill and len(slow) == len(hole_acks):
+            inconsistencies.append(
+                "hole-fill acks delayed despite an immediate-ack policy")
+        if not behavior.immediate_ack_on_hole_fill and not slow \
+                and len(hole_acks) >= 2:
+            inconsistencies.append(
+                "hole-fill acks immediate despite a delayed-ack policy")
+
+    score = float(len(inconsistencies))
+    if score == 0:
+        category = "close"
+    elif score <= 1:
+        category = "imperfect"
+    else:
+        category = "incorrect"
+    return ReceiverFit(analysis.implementation, category, score,
+                       inconsistencies)
+
+
+def identify_receiver(trace: Trace,
+                      candidates: dict[str, TCPBehavior] | None = None,
+                      ) -> list[ReceiverFit]:
+    """Rank candidate implementations by receiver acking policy (§9)."""
+    from repro.core.receiver.analyzer import analyze_receiver
+    candidates = candidates or CATALOG
+    fits = []
+    for implementation, behavior in sorted(candidates.items()):
+        try:
+            analysis = analyze_receiver(trace, behavior, implementation)
+        except ValueError:
+            fits.append(ReceiverFit(implementation, "unusable"))
+            continue
+        fits.append(score_receiver_policy(analysis, behavior))
+    fits.sort(key=lambda f: f.score)
+    return fits

@@ -1,0 +1,7 @@
+"""Receiver-behavior analysis (§7, §9 of the paper)."""
+
+from repro.core.receiver.analyzer import analyze_receiver, ReceiverAnalysis
+from repro.core.receiver.obligations import AckObligation, ObligationTracker
+
+__all__ = ["analyze_receiver", "ReceiverAnalysis", "AckObligation",
+           "ObligationTracker"]

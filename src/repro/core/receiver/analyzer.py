@@ -1,0 +1,298 @@
+"""Receiver analysis: acking policy, gratuitous acks, corruption (§7, §9).
+
+Given a trace captured at (or near) the data *receiver*, replay the
+arrivals against a model of the receiving TCP, track ack obligations,
+and explain every outbound ack:
+
+* its class — **delayed** (acks < 2 full-sized segments), **normal**
+  (exactly 2), or **stretch** (> 2), per §9.1;
+* its generation delay — ack time minus the oldest obligation it
+  discharges (§9.3's "response delays");
+* or **gratuitous** — discharging nothing and changing nothing, the
+  signature of analyzer confusion or measurement error (§7).
+
+Corrupted arrivals are handled two ways, as in the paper: when the
+filter captured whole packets, checksums identify them directly
+(``record.corrupted``); for header-only traces the analyzer *infers*
+a discard when data the trace shows arriving is never acknowledged
+before the same data arrives again (§7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.packets import FlowKey
+from repro.tcp.params import TCPBehavior
+from repro.trace.record import Trace, TraceRecord
+from repro.units import seq_diff, seq_gt, seq_le
+
+from repro.core.receiver.obligations import (
+    MAX_ACK_DELAY,
+    AckObligation,
+    ObligationTracker,
+)
+
+#: Grace period for mandatory (immediate) acks: covers kernel response
+#: delay, vantage-point slop, and interval-timer policies whose
+#: "immediate" path still rides a ~50 ms timer.
+MANDATORY_ACK_DEADLINE = 0.075
+
+
+@dataclass(frozen=True)
+class AckExplanation:
+    """The analyzer's account of one outbound ack."""
+
+    record: TraceRecord
+    kind: str                  # delayed / normal / stretch / dup /
+    #                            window_update / fin_ack / gratuitous
+    acked_bytes: int = 0
+    generation_delay: float | None = None
+    note: str = ""
+    #: Reasons of the obligations this ack discharged (in_sequence,
+    #: out_of_sequence, hole_fill, old_data, probe, fin).
+    discharged_reasons: tuple[str, ...] = ()
+
+
+@dataclass
+class ReceiverAnalysis:
+    """Everything the receiver analysis learned from one trace."""
+
+    implementation: str
+    behavior: TCPBehavior
+    explanations: list[AckExplanation] = field(default_factory=list)
+    gratuitous: list[AckExplanation] = field(default_factory=list)
+    missed_obligations: list[AckObligation] = field(default_factory=list)
+    verified_corrupt: list[TraceRecord] = field(default_factory=list)
+    inferred_corrupt: list[TraceRecord] = field(default_factory=list)
+    delay_ceiling_violations: list[AckExplanation] = field(
+        default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    #: The data sender's full segment size (from its SYN MSS option).
+    full_size: int = 536
+
+    def counts_by_kind(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for e in self.explanations:
+            counts[e.kind] = counts.get(e.kind, 0) + 1
+        return counts
+
+    def delays_for(self, kind: str) -> list[float]:
+        return [e.generation_delay for e in self.explanations
+                if e.kind == kind and e.generation_delay is not None]
+
+    @property
+    def ack_count(self) -> int:
+        return len(self.explanations)
+
+    def summary(self) -> str:
+        kinds = ", ".join(f"{k}={v}" for k, v in
+                          sorted(self.counts_by_kind().items()))
+        return (f"{self.implementation} receiver: {self.ack_count} acks "
+                f"({kinds}); {len(self.gratuitous)} gratuitous; "
+                f"{len(self.verified_corrupt)} verified + "
+                f"{len(self.inferred_corrupt)} inferred corrupt arrivals")
+
+
+def analyze_receiver(trace: Trace, behavior: TCPBehavior,
+                     implementation: str | None = None,
+                     headers_only: bool = False) -> ReceiverAnalysis:
+    """Analyze *trace*'s receiver behavior against *behavior*."""
+    analysis = ReceiverAnalysis(
+        implementation=implementation or behavior.label(),
+        behavior=behavior)
+    flow = trace.primary_flow()           # the data direction (inbound here)
+    reverse = flow.reversed()
+
+    syn = next((r for r in trace if r.flow == flow and r.is_syn
+                and not r.has_ack), None)
+    if syn is None:
+        raise ValueError("trace does not contain the connection SYN")
+    full_size = syn.mss_option if syn.mss_option is not None else 536
+    analysis.full_size = full_size
+
+    discarded = _find_discards(trace, flow, headers_only, analysis)
+
+    rcv_nxt = (syn.seq + 1) % 2**32
+    last_ack_value = rcv_nxt
+    last_window: int | None = None
+    ooo: list[tuple[int, int]] = []
+    tracker = ObligationTracker()
+    fin_rcv_seq: int | None = None
+
+    events = [r for r in trace
+              if (r.flow == flow and (r.payload > 0 or r.is_fin))
+              or (r.flow == reverse and r.has_ack and not r.is_syn)]
+    last_arrival_time = float("-inf")
+    for record in events:
+        tracker.expire(record.timestamp, MANDATORY_ACK_DEADLINE)
+        if record.flow == flow:
+            if record.packet_id in discarded:
+                continue  # the kernel dropped it before TCP saw it
+            last_arrival_time = record.timestamp
+            if record.payload == 1 and last_window == 0:
+                # A zero-window probe: rejected, but acked (mandatory).
+                tracker.incur(AckObligation(
+                    record.timestamp, mandatory=True, reason="probe",
+                    covering_ack=rcv_nxt))
+                continue
+            rcv_nxt, ooo, fin_rcv_seq = _arrival(
+                record, rcv_nxt, ooo, tracker, full_size,
+                last_ack_value, fin_rcv_seq,
+                behavior.immediate_ack_on_hole_fill,
+                behavior.ack_on_consumption)
+        else:
+            last_ack_value, last_window = _outbound_ack(
+                record, rcv_nxt, last_ack_value, last_window, tracker,
+                full_size, fin_rcv_seq, analysis, last_arrival_time)
+
+    tracker.expire(float("inf"), MANDATORY_ACK_DEADLINE)
+    analysis.missed_obligations = tracker.missed
+    return analysis
+
+
+def _find_discards(trace: Trace, flow: FlowKey, headers_only: bool,
+                   analysis: ReceiverAnalysis) -> set[int]:
+    """Identify arrivals the kernel discarded as corrupted (§7).
+
+    Full-content traces use checksum verification; header-only traces
+    use inference — see :mod:`repro.core.receiver.corruption`.
+    """
+    from repro.core.receiver import corruption
+    if headers_only:
+        analysis.inferred_corrupt = corruption.inferred_discards(trace, flow)
+        return {r.packet_id for r in analysis.inferred_corrupt}
+    analysis.verified_corrupt = corruption.verified_discards(trace, flow)
+    return {r.packet_id for r in analysis.verified_corrupt}
+
+
+def _arrival(record: TraceRecord, rcv_nxt: int,
+             ooo: list[tuple[int, int]], tracker: ObligationTracker,
+             full_size: int, last_ack_value: int,
+             fin_rcv_seq: int | None,
+             mandatory_hole_fill: bool = True,
+             ack_on_consumption: bool = False):
+    """Update the receiver replica for one arriving data packet and
+    incur the corresponding obligation."""
+    seg_start = record.seq
+    seg_len = record.payload + (1 if record.is_fin else 0)
+    seg_end = (seg_start + seg_len) % 2**32
+    time = record.timestamp
+    if record.is_fin:
+        fin_rcv_seq = seg_end
+
+    if seq_le(seg_end, rcv_nxt):
+        tracker.incur(AckObligation(time, mandatory=True, reason="old_data",
+                                    covering_ack=rcv_nxt))
+        return rcv_nxt, ooo, fin_rcv_seq
+
+    if seq_gt(seg_start, rcv_nxt):
+        if (seg_start, seg_end) not in ooo:
+            ooo.append((seg_start, seg_end))
+            ooo.sort(key=lambda iv: seq_diff(iv[0], rcv_nxt))
+        tracker.incur(AckObligation(time, mandatory=True,
+                                    reason="out_of_sequence",
+                                    covering_ack=rcv_nxt))
+        return rcv_nxt, ooo, fin_rcv_seq
+
+    new_bytes = seq_diff(seg_end, rcv_nxt)
+    rcv_nxt = seg_end
+    filled_hole = False
+    while ooo and seq_le(ooo[0][0], rcv_nxt):
+        start, end = ooo.pop(0)
+        if seq_gt(end, rcv_nxt):
+            new_bytes += seq_diff(end, rcv_nxt)
+            rcv_nxt = end
+        filled_hole = True
+
+    if record.is_fin or (fin_rcv_seq is not None
+                         and rcv_nxt == fin_rcv_seq):
+        tracker.incur(AckObligation(time, mandatory=True, reason="fin",
+                                    covering_ack=rcv_nxt,
+                                    new_bytes=new_bytes))
+    elif filled_hole:
+        # Whether a hole fill demands an immediate ack is itself an
+        # implementation behavior (the Solaris 2.3 bug treats it as
+        # optional, §8.6); the candidate's flag decides.
+        tracker.incur(AckObligation(time, mandatory=mandatory_hole_fill,
+                                    reason="hole_fill",
+                                    covering_ack=rcv_nxt,
+                                    new_bytes=new_bytes))
+    else:
+        unacked = seq_diff(rcv_nxt, last_ack_value)
+        # Consumption-acking stacks (§9.1) generate the two-segment ack
+        # only when the application reads — invisible from the trace —
+        # so the obligation stays optional (the 500 ms ceiling still
+        # applies).
+        mandatory = unacked >= 2 * full_size and not ack_on_consumption
+        tracker.incur(AckObligation(time, mandatory=mandatory,
+                                    reason="in_sequence",
+                                    covering_ack=rcv_nxt,
+                                    new_bytes=new_bytes))
+    return rcv_nxt, ooo, fin_rcv_seq
+
+
+def _outbound_ack(record: TraceRecord, rcv_nxt: int, last_ack_value: int,
+                  last_window: int | None, tracker: ObligationTracker,
+                  full_size: int, fin_rcv_seq: int | None,
+                  analysis: ReceiverAnalysis,
+                  last_arrival_time: float = float("-inf")):
+    """Explain one observed outbound ack."""
+    time = record.timestamp
+    acked = seq_diff(record.ack, last_ack_value)
+    window_changed = last_window is not None and record.window != last_window
+    oldest = tracker.oldest_pending_time()
+    discharged = tracker.discharge(time)
+    delay = (time - oldest) if oldest is not None else None
+    reasons = tuple(o.reason for o in discharged)
+
+    if acked <= 0:
+        if discharged and any(o.reason in ("out_of_sequence", "old_data",
+                                           "probe")
+                              for o in discharged):
+            explanation = AckExplanation(record, "dup", acked_bytes=0,
+                                         generation_delay=delay,
+                                         discharged_reasons=reasons)
+        elif window_changed:
+            explanation = AckExplanation(record, "window_update",
+                                         generation_delay=delay,
+                                         discharged_reasons=reasons)
+        elif fin_rcv_seq is not None and record.ack == fin_rcv_seq:
+            explanation = AckExplanation(record, "fin_ack",
+                                         generation_delay=delay,
+                                         discharged_reasons=reasons)
+        elif time - last_arrival_time <= 0.010:
+            # Vantage-point slop (§3.2): the filter recorded another
+            # arrival just before this ack left, so the TCP may have
+            # emitted this ack for an obligation the previous ack
+            # appeared (to us) to have discharged already.
+            explanation = AckExplanation(
+                record, "dup", acked_bytes=0,
+                note="response to an arrival within vantage slop")
+        else:
+            explanation = AckExplanation(
+                record, "gratuitous",
+                note="no obligation, no window change")
+            analysis.gratuitous.append(explanation)
+    elif fin_rcv_seq is not None and record.ack == fin_rcv_seq:
+        explanation = AckExplanation(record, "fin_ack", acked_bytes=acked,
+                                     generation_delay=delay,
+                                     discharged_reasons=reasons)
+    elif acked < 2 * full_size:
+        explanation = AckExplanation(record, "delayed", acked_bytes=acked,
+                                     generation_delay=delay,
+                                     discharged_reasons=reasons)
+    elif acked < 3 * full_size:
+        explanation = AckExplanation(record, "normal", acked_bytes=acked,
+                                     generation_delay=delay,
+                                     discharged_reasons=reasons)
+    else:
+        explanation = AckExplanation(record, "stretch", acked_bytes=acked,
+                                     generation_delay=delay,
+                                     discharged_reasons=reasons)
+
+    analysis.explanations.append(explanation)
+    if delay is not None and delay > MAX_ACK_DELAY:
+        analysis.delay_ceiling_violations.append(explanation)
+    return (record.ack if seq_gt(record.ack, last_ack_value)
+            else last_ack_value), record.window

@@ -1,0 +1,60 @@
+"""Corrupted-arrival identification (§7).
+
+Receiving kernels verify TCP checksums and silently discard failures —
+*after* the packet filter has recorded the packet.  Getting
+cause-and-effect right therefore requires knowing which recorded
+arrivals the TCP never actually saw.
+
+Two regimes, as in the paper:
+
+* **Full-content traces** — verify the checksum directly
+  (:func:`verified_discards`); our trace records carry the outcome in
+  ``record.corrupted`` (and pcap round-trips recompute it from real
+  checksums, see :mod:`repro.trace.wire`).
+* **Header-only traces** (the common tcpdump configuration) — infer a
+  discard (:func:`inferred_discards`): data the trace shows arriving,
+  which the TCP never acknowledged before the *same data arrived
+  again*, was evidently thrown away on arrival.
+"""
+
+from __future__ import annotations
+
+from repro.packets import FlowKey
+from repro.trace.record import Trace, TraceRecord
+from repro.units import seq_gt
+
+
+def verified_discards(trace: Trace, flow: FlowKey) -> list[TraceRecord]:
+    """Arrivals whose recorded checksum failed (full-content traces)."""
+    return [record for record in trace
+            if record.flow == flow and record.corrupted]
+
+
+def inferred_discards(trace: Trace, flow: FlowKey) -> list[TraceRecord]:
+    """Arrivals inferred discarded, for header-only traces (§7).
+
+    An arrival was discarded if the receiver's acks never advanced
+    past its start before a retransmission of the same data arrived:
+    a TCP that had accepted the data would have acknowledged it (at
+    least when the retransmission provoked a mandatory ack).
+    """
+    discards: list[TraceRecord] = []
+    reverse = flow.reversed()
+    records = trace.records
+    for i, record in enumerate(records):
+        if record.flow != flow or record.payload == 0:
+            continue
+        retransmitted = False
+        acked_past = False
+        for later in records[i + 1:]:
+            if (later.flow == reverse and later.has_ack
+                    and seq_gt(later.ack, record.seq)):
+                acked_past = True
+                break
+            if (later.flow == flow and later.seq == record.seq
+                    and later.payload > 0):
+                retransmitted = True
+                break
+        if retransmitted and not acked_past:
+            discards.append(record)
+    return discards

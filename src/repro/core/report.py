@@ -1,0 +1,95 @@
+"""Human-readable diagnosis reports.
+
+Collects the calibration, sender, receiver, and identification results
+for one trace (or trace pair) into the kind of report tcpanaly printed:
+measurement-error findings first (nothing downstream is trustworthy
+without them), then behavioral findings, then the fit ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tcp.params import TCPBehavior
+from repro.trace.record import Trace
+
+from repro.core.calibrate import CalibrationReport, calibrate_trace
+from repro.core.fit import FitReport, identify_implementation
+from repro.core.receiver.analyzer import ReceiverAnalysis, analyze_receiver
+from repro.core.sender.analyzer import (
+    SenderAnalysis,
+    TraceUnusable,
+    analyze_sender,
+)
+from repro.core.vantage import infer_vantage
+
+
+@dataclass
+class TraceReport:
+    """A full tcpanaly-style report for one trace."""
+
+    vantage: str
+    calibration: CalibrationReport
+    sender: SenderAnalysis | None = None
+    receiver: ReceiverAnalysis | None = None
+    identification: FitReport | None = None
+
+    def render(self) -> str:
+        lines = [f"=== tcpanaly report (vantage: {self.vantage}) ==="]
+        lines.append("-- measurement calibration --")
+        lines.append(self.calibration.summary())
+        if self.calibration.resequencing:
+            lines.append("NOTE: resequencing detected; recorded "
+                         "cause-and-effect is untrustworthy")
+        if self.sender is not None:
+            lines.append("-- sender behavior --")
+            lines.append(self.sender.summary())
+            first = self.sender.first_violation()
+            if first is not None:
+                lines.append(f"first violation at t={first.record.timestamp:.6f}: "
+                             f"{first.note}")
+            for note in self.sender.notes:
+                lines.append(f"note: {note}")
+            if self.sender.inferred_quenches:
+                lines.append(f"inferred source quenches at "
+                             f"{[f'{t:.3f}' for t in self.sender.inferred_quenches]}")
+        if self.receiver is not None:
+            lines.append("-- receiver behavior --")
+            lines.append(self.receiver.summary())
+            if self.receiver.delay_ceiling_violations:
+                lines.append(f"{len(self.receiver.delay_ceiling_violations)} "
+                             f"acks exceeded the 500 ms ceiling")
+        if self.identification is not None:
+            lines.append("-- implementation identification --")
+            lines.append(self.identification.summary())
+        return "\n".join(lines)
+
+
+def analyze_trace(trace: Trace, behavior: TCPBehavior | None = None,
+                  peer_trace: Trace | None = None,
+                  identify: bool = False,
+                  headers_only: bool = False) -> TraceReport:
+    """Run the full analysis pipeline on one trace.
+
+    With *behavior* the behavior-specific checks run; with *identify*
+    every catalog implementation is ranked.  The analysis appropriate
+    to the trace's vantage is chosen automatically.
+    """
+    vantage = infer_vantage(trace)
+    calibration = calibrate_trace(trace, behavior, peer_trace)
+    report = TraceReport(vantage=vantage, calibration=calibration)
+    if behavior is not None:
+        if vantage == "sender":
+            try:
+                report.sender = analyze_sender(trace, behavior)
+            except TraceUnusable:
+                pass
+        else:
+            try:
+                report.receiver = analyze_receiver(
+                    trace, behavior, headers_only=headers_only)
+            except ValueError:
+                pass
+    if identify and vantage == "sender":
+        report.identification = identify_implementation(trace)
+    return report

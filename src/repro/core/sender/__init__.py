@@ -1,0 +1,6 @@
+"""Sender-behavior analysis (§6 of the paper)."""
+
+from repro.core.sender.analyzer import analyze_sender, SenderAnalysis
+from repro.core.sender.windows import SenderModel, WindowLedger
+
+__all__ = ["analyze_sender", "SenderAnalysis", "SenderModel", "WindowLedger"]

@@ -1,0 +1,141 @@
+"""Inference of hidden sender parameters (§6.2).
+
+§6.2 names three pieces of state a trace never shows directly: the
+sender window, unseen source quenches (both handled inside the replay,
+:mod:`repro.core.sender.analyzer`), and a *non-default initial
+ssthresh* — "if a TCP uses information present in its route cache to
+guide its choice in how to initialize a connection's
+congestion-related parameters".  None of the paper's production TCPs
+did so, but "an experimental TCP that tcpanaly also knows about does"
+(details deferred to [Pa97b]); the catalog's ``experimental-rc`` entry
+reconstructs it.
+
+The inference here recovers the initial ssthresh from the window
+trajectory: group the transfer into ack-clocked rounds, watch the
+per-round flight size, and find where exponential (slow start) growth
+turns linear (congestion avoidance).  A transition *before any loss
+event* can only come from the initial ssthresh; its flight size is the
+estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.trace.record import Trace
+from repro.units import seq_diff, seq_ge, seq_gt
+
+from repro.core.sender.analyzer import ConnectionFacts, extract_facts
+
+
+@dataclass(frozen=True)
+class SsthreshEstimate:
+    """Result of the initial-ssthresh inference."""
+
+    transition_flight: int      # bytes in flight when growth turned linear
+    round_index: int            # which ack round the transition began
+    before_any_loss: bool       # only then does it reflect the *initial* value
+
+    @property
+    def non_default(self) -> bool:
+        """A pre-loss transition means ssthresh was initialized below
+        the customary effectively-unlimited default."""
+        return self.before_any_loss
+
+
+def flight_rounds(trace: Trace,
+                  facts: ConnectionFacts | None = None) -> list[int]:
+    """Per-round flight sizes (bytes), rounds delimited by the ack clock.
+
+    A "round" spans from one advancing ack to the point the next
+    round's first ack arrives — the trace-visible proxy for one RTT of
+    window growth.
+    """
+    facts = facts or extract_facts(trace)
+    flow = facts.flow
+    reverse = flow.reversed()
+    rounds: list[int] = []
+    highest_sent = (facts.iss + 1) % 2**32
+    round_start_una = highest_sent
+    current_una = highest_sent
+    for record in trace:
+        if record.flow == flow and record.payload > 0:
+            if seq_gt(record.seq_end, highest_sent):
+                highest_sent = record.seq_end
+        elif record.flow == reverse and record.has_ack and not record.is_syn:
+            if seq_gt(record.ack, current_una):
+                if seq_ge(record.ack, round_start_una) \
+                        and record.ack != round_start_una:
+                    # The data outstanding when this round's acks began
+                    # returning is the round's flight size.
+                    rounds.append(seq_diff(highest_sent, current_una))
+                    round_start_una = highest_sent
+                current_una = record.ack
+    return [r for r in rounds if r > 0]
+
+
+def first_retransmission_round(trace: Trace,
+                               facts: ConnectionFacts | None = None
+                               ) -> int | None:
+    """Index of the round containing the first retransmission, if any."""
+    facts = facts or extract_facts(trace)
+    flow = facts.flow
+    reverse = flow.reversed()
+    highest_sent = (facts.iss + 1) % 2**32
+    current_round = 0
+    current_una = highest_sent
+    round_start_una = highest_sent
+    for record in trace:
+        if record.flow == flow and record.payload > 0:
+            if seq_gt(highest_sent, record.seq):
+                return current_round
+            if seq_gt(record.seq_end, highest_sent):
+                highest_sent = record.seq_end
+        elif record.flow == reverse and record.has_ack and not record.is_syn:
+            if seq_gt(record.ack, current_una):
+                if record.ack != round_start_una:
+                    current_round += 1
+                    round_start_una = highest_sent
+                current_una = record.ack
+    return None
+
+
+def infer_initial_ssthresh(trace: Trace, mss: int | None = None
+                           ) -> SsthreshEstimate | None:
+    """Find the slow-start → congestion-avoidance transition (§6.2).
+
+    Returns None when the transfer never leaves slow start (the
+    default, effectively-unlimited initial ssthresh) or is too short
+    to judge.
+    """
+    facts = extract_facts(trace)
+    mss = mss or facts.negotiated_mss
+    rounds = flight_rounds(trace, facts)
+    if len(rounds) < 6:
+        return None
+    loss_round = first_retransmission_round(trace, facts)
+
+    # Slow start grows the flight multiplicatively — with delayed acks
+    # only ~1.5x per round, so byte increments alone cannot tell the
+    # phases apart.  Look for the first round where growth drops to
+    # ~one segment AND STAYS there, after a round of clearly
+    # multiplicative growth.
+    confirm = 3
+    for index in range(2, len(rounds) - confirm):
+        if rounds[index - 2] <= 0 or rounds[index - 1] <= 0:
+            continue
+        exponential_before = (rounds[index - 1]
+                              >= 1.3 * rounds[index - 2])
+        if not exponential_before:
+            continue
+        window = rounds[index:index + confirm]
+        growths = [b - a for a, b in
+                   zip([rounds[index - 1]] + window, window)]
+        sustained_linear = all(0 <= g <= 1.25 * mss for g in growths)
+        if sustained_linear:
+            before_loss = loss_round is None or index < loss_round
+            return SsthreshEstimate(
+                transition_flight=rounds[index - 1],
+                round_index=index,
+                before_any_loss=before_loss)
+    return None

@@ -1,0 +1,48 @@
+"""Vantage-point determination.
+
+Several calibration checks are only valid at one end of the connection
+(§3.1.1): a sequence gap proves filter drops at the *sender* but is an
+ordinary network drop at the receiver; an unprovoked dup ack proves
+drops at the *receiver* but is meaningless at the sender.  The trace's
+metadata usually says where the filter sat; when it does not, the
+vantage is inferable from response timing: at the sender's vantage,
+data packets chase arriving acks within the kernel's sub-millisecond
+response delay, while at the receiver's, acks chase arriving data.
+"""
+
+from __future__ import annotations
+
+from repro.trace.record import Trace
+
+#: A response gap below this is "kernel-speed": the responder is local.
+LOCAL_RESPONSE = 0.002
+
+
+def infer_vantage(trace: Trace) -> str:
+    """Return ``"sender"`` or ``"receiver"`` for *trace*.
+
+    Uses the trace's own ``vantage`` metadata when present; otherwise
+    measures which endpoint responds at kernel speed.
+    """
+    if trace.vantage in ("sender", "receiver"):
+        return trace.vantage
+    try:
+        flow = trace.primary_flow()
+    except ValueError:
+        return "sender"
+    reverse = flow.reversed()
+
+    ack_to_data = 0
+    data_to_ack = 0
+    records = trace.records
+    for previous, current in zip(records, records[1:]):
+        gap = current.timestamp - previous.timestamp
+        if gap > LOCAL_RESPONSE or gap < 0:
+            continue
+        if (previous.flow == reverse and previous.has_ack
+                and current.flow == flow and current.payload > 0):
+            ack_to_data += 1
+        elif (previous.flow == flow and previous.payload > 0
+              and current.flow == reverse and current.has_ack):
+            data_to_ack += 1
+    return "sender" if ack_to_data >= data_to_ack else "receiver"

@@ -1,0 +1,22 @@
+"""Experiment infrastructure: scenarios and trace-corpus generation."""
+
+from repro.harness.scenarios import (
+    SCENARIOS,
+    Scenario,
+    traced_transfer,
+    TracedTransfer,
+)
+from repro.harness.corpus import generate_corpus, CorpusEntry
+from repro.harness.probing import Arrival, drive_receiver, probe_hole_fill
+
+__all__ = [
+    "SCENARIOS",
+    "Scenario",
+    "traced_transfer",
+    "TracedTransfer",
+    "generate_corpus",
+    "CorpusEntry",
+    "Arrival",
+    "drive_receiver",
+    "probe_hole_fill",
+]

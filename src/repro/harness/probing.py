@@ -1,0 +1,96 @@
+"""Active probing of receiver implementations (§2's suggested combination).
+
+The paper closes its related-work section with: "one can combine
+active techniques, for controlling the stimuli seen by a TCP
+implementation, with automated analysis of traces of the results, for
+determining the TCP's response."  This module is that combination for
+*receivers*: drive a receiving TCP with a scripted arrival sequence
+(à la Comer & Lin's active probing or Dawson et al.'s fault
+injection), capture the exchange with a packet filter, and hand the
+trace to the automated receiver analysis.
+
+The canned scripts target behaviors passive bulk-transfer traces
+rarely expose — e.g. a *small* hole fill (advance under two segments),
+the one situation that separates Solaris 2.3's acking bug from 2.4's
+fix (§8.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.capture.filter import PacketFilter
+from repro.netsim.engine import Engine
+from repro.netsim.node import Host
+from repro.packets import ACK, FIN, SYN, Endpoint, Segment
+from repro.tcp.params import TCPBehavior
+from repro.tcp.receiver import TCPReceiver
+from repro.trace.record import Trace
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One scripted packet the prober delivers to the receiver."""
+
+    at: float                  # absolute delivery time (seconds)
+    seq: int
+    payload: int = 0
+    flags: int = ACK
+    mss_option: int | None = None
+
+
+def drive_receiver(behavior: TCPBehavior, arrivals: list[Arrival],
+                   mss: int = 512, duration: float = 5.0) -> Trace:
+    """Deliver *arrivals* to a receiver running *behavior*; return the
+    captured (receiver-vantage) trace of the whole exchange."""
+    engine = Engine()
+    host = Host(engine, "receiver")
+    packet_filter = PacketFilter(vantage="receiver")
+    prober = Endpoint("prober", 1024)
+    local = Endpoint("receiver", 9000)
+
+    # The prober is not a real host: capture the receiver's outbound
+    # packets directly instead of routing them anywhere.
+    def capture_send(segment: Segment) -> None:
+        packet_filter.observe_outbound(segment, engine.now)
+
+    host.send = capture_send
+    receiver = TCPReceiver(engine, host, behavior, local, prober, mss=1460)
+    receiver.listen()
+
+    for arrival in arrivals:
+        segment = Segment(src=prober, dst=local, seq=arrival.seq, ack=1,
+                          flags=arrival.flags, payload=arrival.payload,
+                          mss_option=arrival.mss_option)
+        engine.schedule_at(arrival.at,
+                           lambda s=segment, t=arrival.at: (
+                               packet_filter.observe_inbound(s, t),
+                               host.deliver(s)))
+    engine.run(until=duration)
+    return packet_filter.trace()
+
+
+def hole_fill_script(mss: int = 512) -> list[Arrival]:
+    """SYN, then two hole-fill episodes whose fills each advance
+    rcv_nxt by *less than two segments* — the §8.6 discriminator
+    between Solaris 2.3 (delays the ack) and 2.4 (acks at once).
+    Two episodes give the analysis repetition to score against."""
+    base = 1
+    script = [Arrival(0.0, seq=0, flags=SYN, mss_option=mss)]
+    for episode in range(2):
+        start = base + episode * (2 * mss + 300)
+        script += [
+            Arrival(1.0 * episode + 0.1, seq=start, payload=mss),
+            Arrival(1.0 * episode + 0.2, seq=start + 2 * mss,
+                    payload=300),                       # above a hole
+            Arrival(1.0 * episode + 0.3, seq=start + mss,
+                    payload=mss),                       # fills it
+        ]
+    end = base + 2 * (2 * mss + 300)
+    script.append(Arrival(2.5, seq=end, flags=FIN | ACK))
+    return script
+
+
+def probe_hole_fill(behavior: TCPBehavior, mss: int = 512) -> Trace:
+    """Run the small-hole-fill probe against *behavior*."""
+    return drive_receiver(behavior, hole_fill_script(mss), mss=mss)

@@ -1,0 +1,133 @@
+"""Transfer scenarios: named network paths plus a traced-transfer helper.
+
+A :class:`Scenario` captures path characteristics matching the kinds
+of Internet paths in the paper's study: campus LAN, cross-country WAN,
+the high-latency trans-Atlantic paths where Solaris's timer pathology
+bites (§8.6), slow modem-grade links where ack-timer policy matters
+(§9.1), and lossy variants of each.
+
+:func:`traced_transfer` runs a bulk transfer with packet filters at
+both endpoints and returns the transfer result plus both traces —
+the unit of measurement of the entire study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.capture.filter import PacketFilter, attach_filter_pair
+from repro.netsim.engine import Engine
+from repro.netsim.link import LossModel, RandomLoss
+from repro.netsim.network import build_path
+from repro.tcp.connection import TransferResult, run_bulk_transfer
+from repro.tcp.params import TCPBehavior
+from repro.trace.record import Trace
+from repro.units import kbit, kbyte, mbit
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named network path configuration."""
+
+    name: str
+    bottleneck_bandwidth: float = mbit(1.0)
+    bottleneck_delay: float = 0.020     # one-way; RTT ≈ 2*(this + access)
+    queue_limit: int = 64
+    drop_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    description: str = ""
+
+    def forward_loss(self, seed: int = 0) -> LossModel | None:
+        if self.drop_rate == 0.0 and self.corrupt_rate == 0.0:
+            return None
+        return RandomLoss(self.drop_rate, self.corrupt_rate, seed=seed)
+
+    @property
+    def rtt(self) -> float:
+        return 2 * (self.bottleneck_delay + 0.0005)
+
+
+SCENARIOS: dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario("lan", bottleneck_bandwidth=mbit(10.0),
+                 bottleneck_delay=0.001,
+                 description="local Ethernet, ~3 ms RTT"),
+        Scenario("wan", bottleneck_bandwidth=mbit(1.0),
+                 bottleneck_delay=0.035,
+                 description="cross-country path, ~70 ms RTT"),
+        Scenario("wan-lossy", bottleneck_bandwidth=mbit(1.0),
+                 bottleneck_delay=0.035, drop_rate=0.03,
+                 description="cross-country path with 3% loss"),
+        Scenario("transatlantic", bottleneck_bandwidth=kbit(512),
+                 bottleneck_delay=0.339,
+                 description="California-Netherlands, ~680 ms RTT (Fig 5)"),
+        Scenario("satellite", bottleneck_bandwidth=kbit(256),
+                 bottleneck_delay=1.3,
+                 description="2.6 s minimum RTT (the §8.6 worst case)"),
+        Scenario("modem-56k", bottleneck_bandwidth=kbit(56),
+                 bottleneck_delay=0.050,
+                 description="56 kbit/s access, the §9.1 delayed-ack regime"),
+        Scenario("modem-64k", bottleneck_bandwidth=kbit(64),
+                 bottleneck_delay=0.050,
+                 description="64 kbit/s access"),
+        Scenario("lossy-corrupting", bottleneck_bandwidth=mbit(1.0),
+                 bottleneck_delay=0.035, drop_rate=0.02, corrupt_rate=0.01,
+                 description="loss plus checksum corruption (§7)"),
+    )
+}
+
+
+@dataclass
+class TracedTransfer:
+    """A transfer's outcome together with its two endpoint traces."""
+
+    result: TransferResult
+    sender_trace: Trace
+    receiver_trace: Trace
+    scenario: Scenario | None = None
+    seed: int = 0
+
+
+def traced_transfer(behavior: TCPBehavior,
+                    scenario: Scenario | str = "wan",
+                    receiver_behavior: TCPBehavior | None = None,
+                    data_size: int = kbyte(100),
+                    mss: int = 512,
+                    seed: int = 0,
+                    sender_filter: PacketFilter | None = None,
+                    receiver_filter: PacketFilter | None = None,
+                    sender_window: int | None = None,
+                    receiver_buffer: int = 65535,
+                    consume_rate: float | None = None,
+                    heartbeat_phase: float = 0.0,
+                    quench_threshold: int | None = None,
+                    max_duration: float = 600.0) -> TracedTransfer:
+    """Run one bulk transfer on *scenario* with filters at both ends.
+
+    Pass pre-configured :class:`PacketFilter` objects to inject
+    measurement errors; by default both filters are perfect.
+    """
+    if isinstance(scenario, str):
+        scenario = SCENARIOS[scenario]
+    engine = Engine()
+    path = build_path(engine,
+                      bottleneck_bandwidth=scenario.bottleneck_bandwidth,
+                      bottleneck_delay=scenario.bottleneck_delay,
+                      queue_limit=scenario.queue_limit,
+                      forward_loss=scenario.forward_loss(seed),
+                      quench_threshold=quench_threshold)
+    sender_filter, receiver_filter = attach_filter_pair(
+        path, sender_filter, receiver_filter)
+    result = run_bulk_transfer(behavior, receiver_behavior,
+                               data_size=data_size, mss=mss,
+                               sender_window=sender_window,
+                               receiver_buffer=receiver_buffer,
+                               consume_rate=consume_rate,
+                               heartbeat_phase=heartbeat_phase,
+                               max_duration=max_duration,
+                               path=path)
+    return TracedTransfer(result=result,
+                          sender_trace=sender_filter.trace(),
+                          receiver_trace=receiver_filter.trace(),
+                          scenario=scenario, seed=seed)

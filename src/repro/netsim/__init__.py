@@ -1,0 +1,28 @@
+"""Discrete-event network simulator substrate.
+
+This package provides the simulated testbed on which the TCP
+implementations under study run: an event engine (:mod:`engine`),
+links with bandwidth/propagation/queueing (:mod:`link`), hosts and
+routers (:mod:`node`), and topology builders (:mod:`network`).
+"""
+
+from repro.netsim.engine import Engine, Timer
+from repro.netsim.link import Link, LossModel, RandomLoss, DeterministicLoss, NoLoss
+from repro.netsim.node import Host, Router
+from repro.netsim.network import Path, build_path
+from repro.netsim.crosstraffic import CrossTrafficSource
+
+__all__ = [
+    "Engine",
+    "Timer",
+    "CrossTrafficSource",
+    "Link",
+    "LossModel",
+    "RandomLoss",
+    "DeterministicLoss",
+    "NoLoss",
+    "Host",
+    "Router",
+    "Path",
+    "build_path",
+]

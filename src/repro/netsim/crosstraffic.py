@@ -1,0 +1,73 @@
+"""Competing cross-traffic sources.
+
+The paper's transfers crossed the real Internet, sharing every queue
+with other flows; queueing from competing traffic is what makes
+timestamps noisy and loss bursty.  :class:`CrossTrafficSource` injects
+constant-bit-rate (optionally on/off modulated) traffic into a link,
+addressed to a throwaway destination, so measurement and analysis can
+be validated under contention rather than on a silent path.
+"""
+
+from __future__ import annotations
+
+from repro.netsim.engine import Engine, Timer
+from repro.netsim.link import Link
+from repro.packets import ACK, Endpoint, Segment
+
+
+class CrossTrafficSource:
+    """Injects background packets into a link at a configured rate.
+
+    ``rate`` is the offered load in bytes/second of wire occupancy.
+    With ``on_time``/``off_time`` the source alternates bursts and
+    silences (keeping the configured rate during bursts), which is
+    what produces the queue oscillations — and hence timing noise —
+    that real paths show.
+    """
+
+    def __init__(self, engine: Engine, link: Link, rate: float,
+                 packet_size: int = 512,
+                 on_time: float | None = None,
+                 off_time: float | None = None,
+                 src_addr: str = "crosstalk",
+                 dst_addr: str = "elsewhere"):
+        if rate <= 0:
+            raise ValueError("cross-traffic rate must be positive")
+        if packet_size <= 40:
+            raise ValueError("packet size must exceed the header size")
+        self.engine = engine
+        self.link = link
+        self.rate = rate
+        self.packet_size = packet_size
+        self.on_time = on_time
+        self.off_time = off_time
+        self.src = Endpoint(src_addr, 7)
+        self.dst = Endpoint(dst_addr, 7)
+        self.packets_sent = 0
+        self._on = True
+        self._timer: Timer | None = None
+        self._interval = packet_size / rate
+
+    def start(self, at: float = 0.0) -> None:
+        """Begin injecting at absolute time *at*."""
+        self._timer = self.engine.schedule_at(at, self._tick)
+        if self.on_time is not None and self.off_time is not None:
+            self.engine.schedule_at(at + self.on_time, self._toggle)
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _toggle(self) -> None:
+        self._on = not self._on
+        next_period = self.on_time if self._on else self.off_time
+        self.engine.schedule(next_period, self._toggle)
+
+    def _tick(self) -> None:
+        if self._on:
+            segment = Segment(src=self.src, dst=self.dst, seq=0, ack=0,
+                              flags=ACK, payload=self.packet_size - 40)
+            self.link.send(segment)
+            self.packets_sent += 1
+        self._timer = self.engine.schedule(self._interval, self._tick)

@@ -1,0 +1,158 @@
+"""Links: bandwidth, propagation delay, drop-tail queueing, and loss.
+
+A :class:`Link` is unidirectional.  Transmission is serialized — a
+packet occupies the transmitter for ``wire_size / bandwidth`` seconds —
+and a finite drop-tail queue holds packets waiting for the transmitter.
+Loss models can additionally discard or corrupt packets, standing in
+for the congested Internet paths of the paper's testbed.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Callable, Iterable
+
+from repro.netsim.engine import Engine
+from repro.packets import Segment
+
+
+class LossModel:
+    """Decides the fate of each packet entering a link.
+
+    Subclasses override :meth:`fate`, returning one of ``"deliver"``,
+    ``"drop"``, or ``"corrupt"``.
+    """
+
+    def fate(self, segment: Segment) -> str:
+        raise NotImplementedError
+
+
+class NoLoss(LossModel):
+    """Delivers everything intact."""
+
+    def fate(self, segment: Segment) -> str:
+        return "deliver"
+
+
+class RandomLoss(LossModel):
+    """Independent (Bernoulli) loss and corruption with given rates."""
+
+    def __init__(self, drop_rate: float = 0.0, corrupt_rate: float = 0.0,
+                 seed: int = 0):
+        if not 0.0 <= drop_rate <= 1.0 or not 0.0 <= corrupt_rate <= 1.0:
+            raise ValueError("rates must be in [0, 1]")
+        self.drop_rate = drop_rate
+        self.corrupt_rate = corrupt_rate
+        self._rng = random.Random(seed)
+
+    def fate(self, segment: Segment) -> str:
+        r = self._rng.random()
+        if r < self.drop_rate:
+            return "drop"
+        if r < self.drop_rate + self.corrupt_rate:
+            return "corrupt"
+        return "deliver"
+
+
+class DeterministicLoss(LossModel):
+    """Drops or corrupts exactly the packets a test asks for.
+
+    ``drop_nth`` / ``corrupt_nth`` name 1-based positions in the link's
+    packet arrival order; ``predicate`` may additionally select packets
+    by content (e.g. "the data segment starting at seq 8193").
+    """
+
+    def __init__(self, drop_nth: Iterable[int] = (),
+                 corrupt_nth: Iterable[int] = (),
+                 predicate: Callable[[Segment], str] | None = None):
+        self.drop_nth = set(drop_nth)
+        self.corrupt_nth = set(corrupt_nth)
+        self.predicate = predicate
+        self._count = 0
+
+    def fate(self, segment: Segment) -> str:
+        self._count += 1
+        if self._count in self.drop_nth:
+            return "drop"
+        if self._count in self.corrupt_nth:
+            return "corrupt"
+        if self.predicate is not None:
+            return self.predicate(segment)
+        return "deliver"
+
+
+class Link:
+    """A unidirectional link with bandwidth, delay, and a drop-tail queue.
+
+    ``deliver`` is called at the far end's arrival wire time.  ``taps``
+    are packet filters observing this link (see
+    :mod:`repro.capture.filter`); they see packets at the moment the
+    packet begins transmission, i.e. at departure wire time.
+    """
+
+    def __init__(self, engine: Engine, bandwidth: float, delay: float,
+                 queue_limit: int = 64, loss: LossModel | None = None,
+                 name: str = "link"):
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if delay < 0:
+            raise ValueError("delay cannot be negative")
+        if queue_limit < 1:
+            raise ValueError("queue must hold at least one packet")
+        self.engine = engine
+        self.bandwidth = bandwidth
+        self.delay = delay
+        self.queue_limit = queue_limit
+        self.loss = loss or NoLoss()
+        self.name = name
+        self.deliver: Callable[[Segment], None] | None = None
+        self.departure_taps: list[Callable[[Segment, float], None]] = []
+        self._queue: deque[Segment] = deque()
+        self._busy = False
+        # Statistics a scenario or test can inspect afterwards.
+        self.stats_offered = 0
+        self.stats_delivered = 0
+        self.stats_queue_drops = 0
+        self.stats_loss_drops = 0
+        self.stats_corrupted = 0
+
+    def send(self, segment: Segment) -> None:
+        """Offer a packet to the link (from the upstream node)."""
+        self.stats_offered += 1
+        fate = self.loss.fate(segment)
+        if fate == "drop":
+            self.stats_loss_drops += 1
+            return
+        if fate == "corrupt":
+            self.stats_corrupted += 1
+            segment.corrupted = True
+        if len(self._queue) >= self.queue_limit:
+            self.stats_queue_drops += 1
+            return
+        self._queue.append(segment)
+        if not self._busy:
+            self._transmit_next()
+
+    def _transmit_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        segment = self._queue.popleft()
+        for tap in self.departure_taps:
+            tap(segment, self.engine.now)
+        transmit_time = segment.wire_size / self.bandwidth
+        self.engine.schedule(transmit_time, self._transmit_next)
+        self.engine.schedule(transmit_time + self.delay,
+                             lambda s=segment: self._arrive(s))
+
+    def _arrive(self, segment: Segment) -> None:
+        self.stats_delivered += 1
+        if self.deliver is not None:
+            self.deliver(segment)
+
+    @property
+    def queue_length(self) -> int:
+        """Packets currently waiting (not counting the one transmitting)."""
+        return len(self._queue)

@@ -1,0 +1,101 @@
+"""Topology builders.
+
+The paper's transfers all run over a single Internet path between two
+hosts.  :func:`build_path` assembles the canonical topology used by
+the scenarios and benchmarks:
+
+    sender host -- access link --> router -- bottleneck link --> receiver
+                <-- (reverse links with the same parameters) --
+
+Loss models attach to the forward bottleneck (data direction) and,
+optionally, the reverse bottleneck (ack direction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netsim.engine import Engine
+from repro.netsim.link import Link, LossModel
+from repro.netsim.node import Host, Router
+from repro.units import mbit
+
+
+@dataclass
+class Path:
+    """A built end-to-end path and its components."""
+
+    engine: Engine
+    sender: Host
+    receiver: Host
+    router: Router
+    forward_access: Link
+    forward_bottleneck: Link
+    reverse_bottleneck: Link
+    reverse_access: Link
+
+    @property
+    def rtt(self) -> float:
+        """Minimum round-trip propagation delay of the path."""
+        return (self.forward_access.delay + self.forward_bottleneck.delay
+                + self.reverse_bottleneck.delay + self.reverse_access.delay)
+
+
+def build_path(engine: Engine,
+               sender_addr: str = "sender",
+               receiver_addr: str = "receiver",
+               access_bandwidth: float = mbit(10.0),
+               access_delay: float = 0.0005,
+               bottleneck_bandwidth: float = mbit(1.0),
+               bottleneck_delay: float = 0.020,
+               queue_limit: int = 64,
+               forward_loss: LossModel | None = None,
+               reverse_loss: LossModel | None = None,
+               reverse_bottleneck_bandwidth: float | None = None,
+               reverse_bottleneck_delay: float | None = None,
+               quench_threshold: int | None = None) -> Path:
+    """Build the canonical two-host, one-router path.
+
+    ``bottleneck_delay`` is one-way; with a symmetric path the minimum
+    RTT is ``2 * (access_delay + bottleneck_delay)``.  The reverse
+    bottleneck defaults to the forward one's parameters; overriding it
+    models asymmetric paths (e.g. ADSL-style thin upstream), where the
+    ack channel itself congests.
+    """
+    if reverse_bottleneck_bandwidth is None:
+        reverse_bottleneck_bandwidth = bottleneck_bandwidth
+    if reverse_bottleneck_delay is None:
+        reverse_bottleneck_delay = bottleneck_delay
+    sender = Host(engine, sender_addr)
+    receiver = Host(engine, receiver_addr)
+    router = Router(engine, quench_threshold=quench_threshold)
+    if quench_threshold is not None:
+        router.quench_target = sender
+
+    forward_access = Link(engine, access_bandwidth, access_delay,
+                          queue_limit=queue_limit, name="fwd-access")
+    forward_bottleneck = Link(engine, bottleneck_bandwidth, bottleneck_delay,
+                              queue_limit=queue_limit, loss=forward_loss,
+                              name="fwd-bottleneck")
+    reverse_bottleneck = Link(engine, reverse_bottleneck_bandwidth,
+                              reverse_bottleneck_delay,
+                              queue_limit=queue_limit, loss=reverse_loss,
+                              name="rev-bottleneck")
+    reverse_access = Link(engine, access_bandwidth, access_delay,
+                          queue_limit=queue_limit, name="rev-access")
+
+    sender.add_route(receiver_addr, forward_access)
+    router.attach_inbound(forward_access)
+    router.add_route(receiver_addr, forward_bottleneck)
+    receiver.attach_inbound(forward_bottleneck)
+
+    receiver.add_route(sender_addr, reverse_bottleneck)
+    router.attach_inbound(reverse_bottleneck)
+    router.add_route(sender_addr, reverse_access)
+    sender.attach_inbound(reverse_access)
+
+    return Path(engine=engine, sender=sender, receiver=receiver,
+                router=router, forward_access=forward_access,
+                forward_bottleneck=forward_bottleneck,
+                reverse_bottleneck=reverse_bottleneck,
+                reverse_access=reverse_access)

@@ -1,0 +1,155 @@
+"""Hosts and routers.
+
+A :class:`Host` terminates TCP connections: it owns a routing table of
+outbound links, demultiplexes arriving segments to registered
+connections, and exposes taps for packet filters running *on the host
+itself* (the common measurement configuration in the paper).
+
+A :class:`Router` forwards packets between links and can be configured
+to emit ICMP source quench messages when its outbound queue grows —
+the mechanism behind the paper's "unseen source quench" inference
+(§6.2): the quench reaches the TCP but never appears in a TCP-only
+packet trace.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from repro.netsim.engine import Engine
+from repro.netsim.link import Link
+from repro.packets import FlowKey, Segment, SourceQuench
+
+
+class SegmentSink(Protocol):
+    """Anything that can accept a delivered segment (a TCP connection)."""
+
+    def receive(self, segment: Segment) -> None: ...
+
+    def receive_quench(self, quench: SourceQuench) -> None: ...
+
+
+class Host:
+    """An end host: address, outbound routes, and connection demux."""
+
+    def __init__(self, engine: Engine, addr: str):
+        self.engine = engine
+        self.addr = addr
+        self.routes: dict[str, Link] = {}
+        self.default_route: Link | None = None
+        self._connections: dict[FlowKey, SegmentSink] = {}
+        #: Filters tapping this host's outbound packets (kernel-level view).
+        self.send_taps: list[Callable[[Segment, float], None]] = []
+        #: Filters tapping this host's inbound packets.
+        self.recv_taps: list[Callable[[Segment, float], None]] = []
+
+    def add_route(self, dst_addr: str, link: Link) -> None:
+        """Route packets destined for *dst_addr* out *link*."""
+        self.routes[dst_addr] = link
+
+    def attach_inbound(self, link: Link) -> None:
+        """Make *link* deliver its packets to this host."""
+        link.deliver = self.deliver
+
+    def register(self, flow: FlowKey, connection: SegmentSink) -> None:
+        """Demultiplex segments arriving for *flow* to *connection*."""
+        if flow in self._connections:
+            raise ValueError(f"flow already registered: {flow}")
+        self._connections[flow] = connection
+
+    def unregister(self, flow: FlowKey) -> None:
+        self._connections.pop(flow, None)
+
+    def send(self, segment: Segment) -> None:
+        """Transmit a segment originated by this host."""
+        if segment.src.addr != self.addr:
+            raise ValueError(
+                f"host {self.addr} asked to send packet from {segment.src.addr}"
+            )
+        for tap in self.send_taps:
+            tap(segment, self.engine.now)
+        link = self.routes.get(segment.dst.addr, self.default_route)
+        if link is None:
+            raise ValueError(f"no route from {self.addr} to {segment.dst.addr}")
+        link.send(segment)
+
+    def deliver(self, segment: Segment) -> None:
+        """Handle a segment arriving from the network."""
+        for tap in self.recv_taps:
+            tap(segment, self.engine.now)
+        # A corrupted packet fails its checksum in the kernel and is
+        # discarded before reaching TCP — but *after* the packet filter
+        # has seen it, matching the paper's corruption-inference setup.
+        if segment.corrupted:
+            return
+        key = FlowKey(segment.dst, segment.src)
+        connection = self._connections.get(key)
+        if connection is not None:
+            connection.receive(segment)
+
+    def deliver_quench(self, quench: SourceQuench) -> None:
+        """Deliver an ICMP source quench to the owning connection.
+
+        Deliberately *not* passed through the packet taps: the paper's
+        filters matched TCP packets only, so quenches are invisible in
+        traces.
+        """
+        connection = self._connections.get(quench.flow)
+        if connection is not None:
+            connection.receive_quench(quench)
+
+
+class Router:
+    """A store-and-forward router joining two or more links.
+
+    When ``quench_host`` is set and the outbound queue length crosses
+    ``quench_threshold``, the router sends that host one source quench
+    per crossing (hysteresis: re-armed once the queue drains below the
+    threshold), loosely modelling the deprecated ICMP behaviour the
+    paper's TCPs still had to cope with.
+    """
+
+    def __init__(self, engine: Engine, name: str = "router",
+                 quench_threshold: int | None = None):
+        self.engine = engine
+        self.name = name
+        self.routes: dict[str, Link] = {}
+        self.quench_threshold = quench_threshold
+        self.quench_target: Host | None = None
+        self._quench_armed = True
+        self.stats_forwarded = 0
+        self.stats_quenches = 0
+
+    def add_route(self, dst_addr: str, link: Link) -> None:
+        self.routes[dst_addr] = link
+
+    def attach_inbound(self, link: Link) -> None:
+        link.deliver = self.forward
+
+    def forward(self, segment: Segment) -> None:
+        link = self.routes.get(segment.dst.addr)
+        if link is None:
+            return  # no route: silently discard, as a real router would ICMP
+        self.stats_forwarded += 1
+        link.send(segment)
+        self._maybe_quench(segment, link)
+
+    def _maybe_quench(self, segment: Segment, link: Link) -> None:
+        if self.quench_threshold is None or self.quench_target is None:
+            return
+        if link.queue_length >= self.quench_threshold:
+            if self._quench_armed and segment.payload > 0:
+                self._quench_armed = False
+                self.stats_quenches += 1
+                quench = SourceQuench(
+                    target=segment.src,
+                    flow=FlowKey(segment.src, segment.dst),
+                )
+                # Quench travels back through the network; model the
+                # return latency as the forward link's propagation delay.
+                self.engine.schedule(
+                    link.delay,
+                    lambda q=quench: self.quench_target.deliver_quench(q),
+                )
+        elif link.queue_length == 0:
+            self._quench_armed = True

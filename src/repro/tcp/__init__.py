@@ -1,0 +1,21 @@
+"""TCP implementations under study.
+
+The stacks are parameterized by :class:`repro.tcp.params.TCPBehavior`,
+a catalog of every sender/receiver idiosyncrasy the paper documents
+(§§8–10).  :mod:`repro.tcp.catalog` registers the concrete
+implementations of Table 1 plus the §10 additions.
+"""
+
+from repro.tcp.params import TCPBehavior
+from repro.tcp.catalog import CATALOG, get_behavior, implementation_names
+from repro.tcp.connection import BulkSender, BulkReceiver, run_bulk_transfer
+
+__all__ = [
+    "TCPBehavior",
+    "CATALOG",
+    "get_behavior",
+    "implementation_names",
+    "BulkSender",
+    "BulkReceiver",
+    "run_bulk_transfer",
+]

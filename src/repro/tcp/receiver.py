@@ -1,0 +1,310 @@
+"""The parameterized TCP receiver.
+
+Implements the passive end of a bulk transfer: SYN-ack handshake,
+in-order reassembly with an out-of-order queue, and — the part the
+paper studies (§7, §9) — the acknowledgement policy:
+
+* BSD-derived stacks run a free-running 200 ms *heartbeat* timer; data
+  that arrives between beats waits for the next beat unless two full
+  segments accumulate, producing delayed-ack latencies uniform on
+  [0, 200) ms (§9.1).
+* Linux 1.0 acks every packet immediately (~1 ms).
+* Solaris arms a one-shot 50 ms timer when data arrives; §9.1 shows
+  this makes every in-sequence ack a delayed ack on slow links.
+
+Out-of-sequence data always provokes an immediate duplicate ack (a
+*mandatory* ack obligation in tcpanaly's terms).
+"""
+
+from __future__ import annotations
+
+from repro.netsim.engine import Engine, Timer
+from repro.netsim.node import Host
+from repro.packets import ACK, SYN, Endpoint, FlowKey, Segment, SourceQuench
+from repro.tcp.params import AckPolicy, TCPBehavior
+from repro.units import seq_add, seq_diff, seq_ge, seq_gt, seq_le
+
+
+class TCPReceiver:
+    """Passive-opening TCP endpoint sinking a unidirectional bulk send."""
+
+    def __init__(self, engine: Engine, host: Host, behavior: TCPBehavior,
+                 local: Endpoint, remote: Endpoint, mss: int = 1460,
+                 buffer_size: int = 65535, irs: int = 0,
+                 consume_rate: float | None = None,
+                 heartbeat_phase: float = 0.0):
+        self.engine = engine
+        self.host = host
+        self.behavior = behavior
+        self.local = local
+        self.remote = remote
+        self.offered_mss = mss
+        self.buffer_size = buffer_size
+        self.iss = irs
+        #: Application consumption rate in bytes/sec; None = immediate.
+        self.consume_rate = consume_rate
+        #: Offset of the first heartbeat tick.  The real BSD heartbeat
+        #: free-runs from boot, so its phase relative to any one
+        #: connection is arbitrary — which is what spreads delayed-ack
+        #: delays uniformly over [0, 200) ms (§9.1).
+        self.heartbeat_phase = heartbeat_phase % behavior.delayed_ack_timeout
+
+        self.state = "LISTEN"
+        self.rcv_nxt = 0
+        self.peer_mss = mss
+        self.buffered = 0             # delivered to socket, not yet consumed
+        #: Out-of-order queue: list of (start_seq, end_seq) intervals.
+        self.ooo: list[tuple[int, int]] = []
+        self.fin_seen = False
+        self.finished = False
+
+        self._unacked_bytes = 0       # in-sequence data not yet acked
+        self._consumed_since_ack = 0  # consumed by the app, not yet acked
+        self._last_ack_sent = 0
+        #: Highest sequence ever advertised as acceptable; a window
+        #: advertisement is a promise that is never reneged on.
+        self._advertised_high = 0
+        self._delack_pending = False
+        self._delack_timer: Timer | None = None
+        self._heartbeat_started = False
+        self._consume_timer: Timer | None = None
+
+        self.stats_acks_sent = 0
+        self.stats_data_received = 0
+        self.stats_duplicate_data = 0
+        self.stats_probes_rejected = 0
+
+        self.flow = FlowKey(local, remote)
+
+    def listen(self) -> None:
+        """Register for the expected inbound flow."""
+        self.host.register(self.flow, self)
+
+    # -- segment arrival -----------------------------------------------------
+
+    def receive(self, segment: Segment) -> None:
+        if self.state == "LISTEN":
+            if segment.is_syn and not segment.has_ack:
+                self._handle_syn(segment)
+            return
+        if segment.is_syn and not segment.has_ack:
+            # A retransmitted SYN: our SYN-ack was lost.  Re-send it.
+            if seq_add(segment.seq, 1) == self.rcv_nxt:
+                self.engine.schedule(self.behavior.response_delay,
+                                     self._send_synack)
+            return
+        self.engine.schedule(self.behavior.response_delay,
+                             lambda s=segment: self._process(s))
+
+    def receive_quench(self, quench: SourceQuench) -> None:
+        pass  # receivers of a bulk transfer send no data to quench
+
+    def _handle_syn(self, segment: Segment) -> None:
+        self.peer_mss = (segment.mss_option if segment.mss_option is not None
+                         else 536)
+        self.rcv_nxt = seq_add(segment.seq, 1)
+        self._last_ack_sent = self.rcv_nxt
+        self.state = "SYN_RCVD"
+        self.engine.schedule(self.behavior.response_delay, self._send_synack)
+
+    def _send_synack(self) -> None:
+        synack = Segment(
+            src=self.local, dst=self.remote, seq=self.iss, ack=self.rcv_nxt,
+            flags=SYN | ACK, window=self._window(),
+            mss_option=self.offered_mss if self.behavior.offers_mss_option
+            else None)
+        self._advertised_high = seq_add(self.rcv_nxt, self._window())
+        self.host.send(synack)
+        self.state = "ESTABLISHED"
+        if self.behavior.ack_policy is AckPolicy.HEARTBEAT_200MS:
+            self._start_heartbeat()
+
+    # -- data processing -----------------------------------------------------
+
+    def _window(self) -> int:
+        return max(self.buffer_size - self.buffered, 0)
+
+    def _process(self, segment: Segment) -> None:
+        if self.finished:
+            return
+        if segment.payload == 0 and not segment.is_fin:
+            return  # a bare ack from the sender (e.g. handshake third packet)
+
+        seg_start = segment.seq
+        seg_len = segment.payload + (1 if segment.is_fin else 0)
+        seg_end = seq_add(seg_start, seg_len)
+
+        if (seg_len > 0
+                and seq_ge(seg_start, self._advertised_high)):
+            # Outside the offered window — a zero-window probe, or data
+            # sent past the advertisement.  Discard, but ack so the
+            # sender learns the current window.
+            self.stats_probes_rejected += 1
+            self._send_ack()
+            return
+
+        if seq_le(seg_end, self.rcv_nxt):
+            # Entirely old data: a retransmission of something already
+            # received.  Mandatory immediate ack (it is a dup ack from
+            # the sender's perspective).
+            self.stats_duplicate_data += 1
+            self._send_ack()
+            return
+
+        if seq_gt(seg_start, self.rcv_nxt):
+            # Above a sequence hole: queue it and send an immediate dup
+            # ack — a mandatory obligation (§7).
+            self._insert_ooo(seg_start, seg_end, segment.is_fin)
+            self._send_ack()
+            return
+
+        # In sequence (possibly overlapping rcv_nxt): accept new bytes.
+        new_bytes = seq_diff(seg_end, self.rcv_nxt)
+        advanced_over_hole = False
+        self.rcv_nxt = seg_end
+        if segment.is_fin:
+            self.fin_seen = True
+            new_bytes -= 1  # the FIN consumes sequence space, not buffer
+        self.stats_data_received += new_bytes
+        self._accept_bytes(new_bytes)
+        # Pull any now-contiguous out-of-order data.
+        while self.ooo and seq_le(self.ooo[0][0], self.rcv_nxt):
+            start, end = self.ooo.pop(0)
+            if seq_gt(end, self.rcv_nxt):
+                gained = seq_diff(end, self.rcv_nxt)
+                if self._ooo_fin_end is not None and end == self._ooo_fin_end:
+                    self.fin_seen = True
+                    gained -= 1
+                self.rcv_nxt = end
+                self.stats_data_received += gained
+                self._accept_bytes(gained)
+            advanced_over_hole = True
+
+        if self.fin_seen and self.rcv_nxt != self._last_ack_sent:
+            # Connection teardown: ack the FIN immediately.
+            self._send_ack()
+            self.finished = True
+            return
+        if advanced_over_hole and self.behavior.immediate_ack_on_hole_fill:
+            # Filling a hole is acked immediately: the sender is
+            # retransmitting and needs prompt feedback.  Solaris 2.3's
+            # minor acking bug (§8.6) skips this and falls through to
+            # the ordinary delayed-ack machinery.
+            self._send_ack()
+            return
+        self._ack_in_sequence_data()
+
+    _ooo_fin_end: int | None = None
+
+    def _insert_ooo(self, start: int, end: int, is_fin: bool) -> None:
+        if is_fin:
+            self._ooo_fin_end = end
+        for existing_start, existing_end in self.ooo:
+            if existing_start == start and existing_end == end:
+                return
+        self.ooo.append((start, end))
+        self.ooo.sort(key=lambda iv: seq_diff(iv[0], self.rcv_nxt))
+
+    def _accept_bytes(self, n: int) -> None:
+        if n <= 0:
+            return
+        if self.consume_rate is None:
+            return  # application consumes instantly; window never shrinks
+        self.buffered += n
+        if self._consume_timer is None:
+            self._schedule_consume()
+
+    def _schedule_consume(self) -> None:
+        chunk = min(self.buffered, self.peer_mss)
+        if chunk <= 0:
+            self._consume_timer = None
+            return
+        delay = chunk / self.consume_rate
+        self._consume_timer = self.engine.schedule(
+            delay, lambda: self._consume(chunk))
+
+    def _consume(self, chunk: int) -> None:
+        self._consume_timer = None
+        opened_from = self._window()
+        self.buffered -= chunk
+        self._consumed_since_ack += chunk
+        # A consumption that re-opens a previously tighter window causes
+        # a window-update ack (BSD behaviour when the window opens by
+        # two segments or half the buffer).  Consumption-acking stacks
+        # also generate the every-two-segments ack here (§9.1).
+        threshold_ack = (self.behavior.ack_on_consumption
+                         and self._consumed_since_ack
+                         >= self.behavior.ack_every_segments * self.peer_mss)
+        if (threshold_ack
+                or self._window() - opened_from >= 2 * self.peer_mss
+                or (opened_from == 0 and self._window() > 0)):
+            self._send_ack()
+        self._schedule_consume()
+
+    # -- ack policies ----------------------------------------------------------
+
+    def _ack_in_sequence_data(self) -> None:
+        policy = self.behavior.ack_policy
+        self._unacked_bytes = seq_diff(self.rcv_nxt, self._last_ack_sent)
+        if policy is AckPolicy.EVERY_PACKET:
+            self._send_ack()
+            return
+        if (self.behavior.ack_on_consumption
+                and self.consume_rate is not None):
+            # BSD acks the two-segment threshold when the application
+            # has CONSUMED that much (§9.1); with a rate-limited reader
+            # the ack waits for the read, so only arm the delayed-ack
+            # machinery here — _consume() sends the threshold ack.
+            self._delack_pending = True
+            if policy is AckPolicy.INTERVAL_50MS and \
+                    self._delack_timer is None:
+                self._delack_timer = self.engine.schedule(
+                    self.behavior.delayed_ack_timeout, self._delack_fire)
+            return
+        if self._unacked_bytes >= (self.behavior.ack_every_segments
+                                   * self.peer_mss):
+            self._send_ack()
+            return
+        self._delack_pending = True
+        if policy is AckPolicy.INTERVAL_50MS and self._delack_timer is None:
+            self._delack_timer = self.engine.schedule(
+                self.behavior.delayed_ack_timeout, self._delack_fire)
+        # HEARTBEAT_200MS: the free-running heartbeat will pick it up.
+
+    def _start_heartbeat(self) -> None:
+        if self._heartbeat_started:
+            return
+        self._heartbeat_started = True
+        if self.heartbeat_phase > 0:
+            self.engine.schedule(self.heartbeat_phase, self._heartbeat_tick)
+        else:
+            self._heartbeat_tick()
+
+    def _heartbeat_tick(self) -> None:
+        if self.finished:
+            return
+        if self._delack_pending:
+            self._send_ack()
+        self.engine.schedule(self.behavior.delayed_ack_timeout,
+                             self._heartbeat_tick)
+
+    def _delack_fire(self) -> None:
+        self._delack_timer = None
+        if self._delack_pending:
+            self._send_ack()
+
+    def _send_ack(self) -> None:
+        ack = Segment(src=self.local, dst=self.remote, seq=self.iss + 1,
+                      ack=self.rcv_nxt, flags=ACK, window=self._window())
+        edge = seq_add(self.rcv_nxt, self._window())
+        if seq_gt(edge, self._advertised_high):
+            self._advertised_high = edge
+        self.host.send(ack)
+        self.stats_acks_sent += 1
+        self._last_ack_sent = self.rcv_nxt
+        self._unacked_bytes = 0
+        self._consumed_since_ack = 0
+        self._delack_pending = False
+        if self._delack_timer is not None:
+            self._delack_timer.cancel()
+            self._delack_timer = None

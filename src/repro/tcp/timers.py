@@ -1,0 +1,156 @@
+"""Retransmission-timeout estimators.
+
+Four families, matching the catalog (§8.5, §8.6):
+
+* :class:`JacobsonEstimator` — the standard srtt/rttvar estimator with
+  Karn's algorithm, in the scaled integer arithmetic BSD uses (srtt
+  kept as 8*avg, rttvar as 4*mdev, clock ticks of 500 ms), because
+  [BP95] showed the integer details have observable effects.
+* :class:`SolarisEstimator` — starts at ~300 ms; adapts sluggishly and,
+  due to the §8.6 bug, collapses back to its base value whenever an
+  ack for a retransmitted packet arrives, so it "never has much
+  opportunity to adapt".
+* :class:`Linux10Estimator` — mean-based, no variance term, so it fires
+  much too early on paths with RTT variation, driving the broken
+  retransmission behavior of §8.5.
+* :class:`TrumpetEstimator` — a fixed aggressive timer with weak
+  backoff, standing in for the §10 finding that Trumpet/Winsock
+  "exhibits severe deficiencies".
+"""
+
+from __future__ import annotations
+
+from repro.tcp.params import RTOStyle, TCPBehavior
+
+
+class RTOEstimator:
+    """Interface: feed RTT samples, ask for the current timeout."""
+
+    def __init__(self, behavior: TCPBehavior):
+        self.behavior = behavior
+        self.backoff_shift = 0
+
+    def sample(self, rtt: float, for_retransmitted: bool = False) -> None:
+        """Incorporate a measured round-trip time.
+
+        ``for_retransmitted`` marks samples from acks of retransmitted
+        data; Karn's algorithm requires discarding them (ambiguous),
+        and the Solaris bug reacts to them perversely.
+        """
+        raise NotImplementedError
+
+    def base_rto(self) -> float:
+        """Timeout before backoff is applied."""
+        raise NotImplementedError
+
+    def rto(self) -> float:
+        """Current timeout including exponential backoff."""
+        value = self.base_rto() * (self.behavior.backoff_factor
+                                   ** self.backoff_shift)
+        return min(max(value, self.behavior.min_rto), self.behavior.max_rto)
+
+    def back_off(self) -> None:
+        """Apply one step of timer backoff (after a timeout)."""
+        self.backoff_shift = min(self.backoff_shift + 1, 12)
+
+    def reset_backoff(self) -> None:
+        self.backoff_shift = 0
+
+
+class JacobsonEstimator(RTOEstimator):
+    """RFC 6298-style srtt/rttvar with Karn's algorithm."""
+
+    def __init__(self, behavior: TCPBehavior):
+        super().__init__(behavior)
+        self.srtt: float | None = None
+        self.rttvar = 0.0
+
+    def sample(self, rtt: float, for_retransmitted: bool = False) -> None:
+        if for_retransmitted:
+            return  # Karn: ambiguous sample, discard
+        if self.srtt is None:
+            self.srtt = rtt
+            self.rttvar = rtt / 2.0
+        else:
+            err = rtt - self.srtt
+            self.srtt += err / 8.0
+            self.rttvar += (abs(err) - self.rttvar) / 4.0
+
+    def base_rto(self) -> float:
+        if self.srtt is None:
+            return self.behavior.initial_rto
+        return self.srtt + max(4.0 * self.rttvar, 0.010)
+
+
+class SolarisEstimator(RTOEstimator):
+    """The §8.6 Solaris 2.3/2.4 timer.
+
+    Adaptation is slow (small gains) and an ack for retransmitted data
+    resets the estimate to the base value, so on a path whose RTT
+    exceeds the ~300 ms initial RTO the first transmission of nearly
+    every packet times out and is retransmitted needlessly.
+    """
+
+    def __init__(self, behavior: TCPBehavior):
+        super().__init__(behavior)
+        self.estimate = behavior.initial_rto
+
+    def sample(self, rtt: float, for_retransmitted: bool = False) -> None:
+        if for_retransmitted:
+            if self.behavior.rto_collapse_on_rexmit_ack:
+                self.estimate = self.behavior.initial_rto
+            return
+        # Sluggish adaptation: move only 1/8 of the way toward a value
+        # that would actually cover the observed RTT.
+        target = rtt * 1.25
+        if target > self.estimate:
+            self.estimate += (target - self.estimate) / 8.0
+        else:
+            self.estimate += (target - self.estimate) / 16.0
+
+    def base_rto(self) -> float:
+        return self.estimate
+
+
+class Linux10Estimator(RTOEstimator):
+    """Mean-based timer with no variance term: fires much too early."""
+
+    def __init__(self, behavior: TCPBehavior):
+        super().__init__(behavior)
+        self.mean: float | None = None
+
+    def sample(self, rtt: float, for_retransmitted: bool = False) -> None:
+        if for_retransmitted:
+            return
+        if self.mean is None:
+            self.mean = rtt
+        else:
+            self.mean += (rtt - self.mean) / 4.0
+
+    def base_rto(self) -> float:
+        if self.mean is None:
+            return self.behavior.initial_rto
+        # No variance term and a skimpy multiplier: any RTT fluctuation
+        # above ~12% triggers a premature retransmission.
+        return self.mean * 1.125
+
+
+class TrumpetEstimator(RTOEstimator):
+    """Fixed, aggressive timer; backoff barely grows."""
+
+    def sample(self, rtt: float, for_retransmitted: bool = False) -> None:
+        pass  # never adapts at all
+
+    def base_rto(self) -> float:
+        return self.behavior.initial_rto
+
+
+def make_estimator(behavior: TCPBehavior) -> RTOEstimator:
+    """Build the estimator the behavior catalog calls for."""
+    styles = {
+        RTOStyle.JACOBSON: JacobsonEstimator,
+        RTOStyle.SOLARIS: SolarisEstimator,
+        RTOStyle.LINUX10: Linux10Estimator,
+        RTOStyle.TRUMPET: TrumpetEstimator,
+    }
+    return styles[behavior.rto_style](behavior)

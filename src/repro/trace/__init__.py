@@ -1,0 +1,11 @@
+"""Trace formats and I/O.
+
+:mod:`record` defines the in-memory trace representation the analyzer
+consumes; :mod:`wire` encodes/decodes real IPv4/TCP headers with
+checksums; :mod:`pcap` reads and writes standard libpcap files built
+on those headers; :mod:`text` renders tcpdump-style text.
+"""
+
+from repro.trace.record import Trace, TraceRecord, trace_from_segments
+
+__all__ = ["Trace", "TraceRecord", "trace_from_segments"]

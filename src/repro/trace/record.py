@@ -1,0 +1,195 @@
+"""The trace representation the analyzer consumes.
+
+A :class:`TraceRecord` is a timestamped snapshot of a packet as a
+packet filter recorded it — plain data, no live simulator references,
+so traces serialize to pcap/text and round-trip.  A :class:`Trace` is
+an ordered list of records plus measurement metadata (where the filter
+sat, what it claims about drops).
+
+``packet_id`` survives into the record: it identifies distinct wire
+packets, letting tests ask ground-truth questions ("was this record a
+measurement duplicate of that one?").  The analyzer itself never uses
+it — tcpanaly had no such luxury.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Iterator
+
+from repro.packets import ACK, Endpoint, FlowKey, Segment, flags_to_string
+from repro.units import seq_diff
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One packet as captured: timestamp plus header fields."""
+
+    timestamp: float
+    src: Endpoint
+    dst: Endpoint
+    seq: int
+    ack: int
+    flags: int
+    payload: int
+    window: int
+    mss_option: int | None = None
+    corrupted: bool = False
+    packet_id: int = 0
+
+    @property
+    def flow(self) -> FlowKey:
+        return FlowKey(self.src, self.dst)
+
+    @property
+    def seq_end(self) -> int:
+        length = self.payload
+        if self.flags & 0x02:  # SYN
+            length += 1
+        if self.flags & 0x01:  # FIN
+            length += 1
+        return (self.seq + length) % 2**32
+
+    @property
+    def is_syn(self) -> bool:
+        return bool(self.flags & 0x02)
+
+    @property
+    def is_fin(self) -> bool:
+        return bool(self.flags & 0x01)
+
+    @property
+    def is_rst(self) -> bool:
+        return bool(self.flags & 0x04)
+
+    @property
+    def has_ack(self) -> bool:
+        return bool(self.flags & ACK)
+
+    @property
+    def is_pure_ack(self) -> bool:
+        return self.has_ack and self.payload == 0 and not (self.is_syn
+                                                           or self.is_fin)
+
+    def with_timestamp(self, timestamp: float) -> "TraceRecord":
+        return replace(self, timestamp=timestamp)
+
+    def describe(self, base_time: float = 0.0) -> str:
+        """One human-readable line, tcpdump flavored."""
+        t = self.timestamp - base_time
+        desc = (f"{t:12.6f} {self.src} > {self.dst}: "
+                f"{flags_to_string(self.flags)} {self.seq}:{self.seq_end}"
+                f"({self.payload})")
+        if self.has_ack:
+            desc += f" ack {self.ack}"
+        desc += f" win {self.window}"
+        if self.mss_option is not None:
+            desc += f" <mss {self.mss_option}>"
+        return desc
+
+
+def record_from_segment(segment: Segment, timestamp: float) -> TraceRecord:
+    """Snapshot a live segment into an immutable trace record."""
+    return TraceRecord(
+        timestamp=timestamp, src=segment.src, dst=segment.dst,
+        seq=segment.seq, ack=segment.ack, flags=segment.flags,
+        payload=segment.payload, window=segment.window,
+        mss_option=segment.mss_option, corrupted=segment.corrupted,
+        packet_id=segment.packet_id)
+
+
+@dataclass
+class Trace:
+    """An ordered sequence of captured packets plus metadata.
+
+    ``reported_drops`` is what the *filter* claims about its own drops
+    — which, per §3.1.1, may be absent (None), accurate, or a lie.
+    ``vantage`` names where the filter sat (e.g. ``"sender"``).
+    """
+
+    records: list[TraceRecord] = field(default_factory=list)
+    vantage: str = ""
+    filter_name: str = ""
+    reported_drops: int | None = None
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, index):
+        return self.records[index]
+
+    @property
+    def start_time(self) -> float:
+        return self.records[0].timestamp if self.records else 0.0
+
+    def flows(self) -> set[FlowKey]:
+        return {r.flow for r in self.records}
+
+    def primary_flow(self) -> FlowKey:
+        """The data-carrying direction: the flow sending the most bytes.
+
+        Falls back to the SYN sender's flow for data-less traces.
+        """
+        if not self.records:
+            raise ValueError("empty trace has no flows")
+        volumes: dict[FlowKey, int] = {}
+        for record in self.records:
+            volumes[record.flow] = volumes.get(record.flow, 0) + record.payload
+        best = max(volumes, key=lambda k: volumes[k])
+        if volumes[best] > 0:
+            return best
+        for record in self.records:
+            if record.is_syn and not record.has_ack:
+                return record.flow
+        return self.records[0].flow
+
+    def in_flow(self, flow: FlowKey) -> list[TraceRecord]:
+        return [r for r in self.records if r.flow == flow]
+
+    def data_packets(self, flow: FlowKey | None = None) -> list[TraceRecord]:
+        flow = flow or self.primary_flow()
+        return [r for r in self.records if r.flow == flow and r.payload > 0]
+
+    def acks(self, flow: FlowKey | None = None) -> list[TraceRecord]:
+        """Pure acks flowing *against* the primary (data) direction
+        (SYN-acks are handshake packets, not acks, and are excluded)."""
+        flow = flow or self.primary_flow()
+        reverse = flow.reversed()
+        return [r for r in self.records
+                if r.flow == reverse and r.has_ack and r.payload == 0
+                and not r.is_syn]
+
+    def filtered(self, predicate: Callable[[TraceRecord], bool]) -> "Trace":
+        return Trace(records=[r for r in self.records if predicate(r)],
+                     vantage=self.vantage, filter_name=self.filter_name,
+                     reported_drops=self.reported_drops)
+
+    def sorted_by_time(self) -> "Trace":
+        return Trace(records=sorted(self.records, key=lambda r: r.timestamp),
+                     vantage=self.vantage, filter_name=self.filter_name,
+                     reported_drops=self.reported_drops)
+
+    def relative_seq(self, record: TraceRecord) -> int:
+        """Sequence number relative to the flow's first record."""
+        first = next(r for r in self.records if r.flow == record.flow)
+        return seq_diff(record.seq, first.seq)
+
+    def describe(self, limit: int | None = None) -> str:
+        """Multi-line tcpdump-style rendering (for reports and debugging)."""
+        base = self.start_time
+        lines = [r.describe(base) for r in
+                 (self.records if limit is None else self.records[:limit])]
+        return "\n".join(lines)
+
+
+def trace_from_segments(pairs: Iterable[tuple[Segment, float]],
+                        vantage: str = "",
+                        filter_name: str = "") -> Trace:
+    """Build a trace directly from (segment, time) pairs — the
+    error-free capture a perfect filter would produce."""
+    records = [record_from_segment(seg, t) for seg, t in pairs]
+    return Trace(records=records, vantage=vantage, filter_name=filter_name,
+                 reported_drops=0)

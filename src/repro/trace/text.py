@@ -1,0 +1,96 @@
+"""tcpdump-style text rendering and parsing.
+
+The renderer produces lines close to classic ``tcpdump`` TCP output:
+
+    0.000000 sender.1024 > receiver.9000: S 0:1(0) win 65535 <mss 512>
+    0.045123 receiver.9000 > sender.1024: S. 0:1(0) ack 1 win 65535 <mss 1460>
+    0.046011 sender.1024 > receiver.9000: . 1:513(512) ack 1 win 65535
+
+The parser reads the same format back, so text traces round-trip —
+useful for fixtures, golden files, and hand-edited regression cases.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.packets import ACK, FIN, PSH, RST, SYN, URG, Endpoint
+from repro.trace.record import Trace, TraceRecord
+
+_FLAG_BITS = {"S": SYN, "F": FIN, "R": RST, "P": PSH, "U": URG}
+
+_LINE_RE = re.compile(
+    r"^\s*(?P<time>[\d.]+)\s+"
+    r"(?P<src>\S+)\.(?P<sport>\d+)\s*>\s*(?P<dst>\S+)\.(?P<dport>\d+):\s+"
+    r"(?P<flags>[SFRPU.\-]+)\s+"
+    r"(?P<seq>\d+):(?P<seqend>\d+)\((?P<len>\d+)\)"
+    r"(?:\s+ack\s+(?P<ack>\d+))?"
+    r"\s+win\s+(?P<win>\d+)"
+    r"(?:\s+<mss\s+(?P<mss>\d+)>)?"
+    r"(?:\s+\[corrupt\])?\s*$"
+)
+
+
+def render_record(record: TraceRecord, base_time: float = 0.0) -> str:
+    """One tcpdump-style line for *record*."""
+    time = record.timestamp - base_time
+    flag_text = "".join(ch for ch, bit in _FLAG_BITS.items()
+                        if record.flags & bit)
+    if record.flags & ACK:
+        flag_text += "."
+    if not flag_text:
+        flag_text = "-"
+    line = (f"{time:.6f} {record.src} > {record.dst}: {flag_text} "
+            f"{record.seq}:{record.seq_end}({record.payload})")
+    if record.flags & ACK:
+        line += f" ack {record.ack}"
+    line += f" win {record.window}"
+    if record.mss_option is not None:
+        line += f" <mss {record.mss_option}>"
+    if record.corrupted:
+        line += " [corrupt]"
+    return line
+
+
+def render_trace(trace: Trace, relative_time: bool = True) -> str:
+    """The whole trace as text, one line per packet."""
+    base = trace.start_time if relative_time else 0.0
+    return "\n".join(render_record(r, base) for r in trace.records) + "\n"
+
+
+def parse_line(line: str) -> TraceRecord:
+    """Parse one rendered line back into a record."""
+    match = _LINE_RE.match(line)
+    if match is None:
+        raise ValueError(f"unparseable trace line: {line!r}")
+    flags = 0
+    for ch in match["flags"]:
+        if ch in _FLAG_BITS:
+            flags |= _FLAG_BITS[ch]
+        elif ch == ".":
+            flags |= ACK
+    return TraceRecord(
+        timestamp=float(match["time"]),
+        src=Endpoint(match["src"], int(match["sport"])),
+        dst=Endpoint(match["dst"], int(match["dport"])),
+        seq=int(match["seq"]),
+        ack=int(match["ack"]) if match["ack"] is not None else 0,
+        flags=flags,
+        payload=int(match["len"]),
+        window=int(match["win"]),
+        mss_option=int(match["mss"]) if match["mss"] is not None else None,
+        corrupted="[corrupt]" in line,
+    )
+
+
+def parse_trace(text: str, vantage: str = "", filter_name: str = "") -> Trace:
+    """Parse text produced by :func:`render_trace` (blank lines and
+    ``#`` comments ignored)."""
+    records = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        records.append(parse_line(stripped))
+    return Trace(records=records, vantage=vantage, filter_name=filter_name,
+                 reported_drops=None)

@@ -1,0 +1,184 @@
+"""On-the-wire IPv4/TCP encoding of trace records.
+
+Real header layouts with real checksums, so traces written to pcap are
+readable by standard tools and so checksum verification — which
+tcpanaly performs when the filter captured whole packets (§6.1, §7) —
+is meaningful.  Corruption is modelled faithfully: a corrupted record
+is encoded with a payload bit flipped *after* the checksum is
+computed, so decoding detects a checksum mismatch exactly as a real
+kernel would.
+
+Simulator hosts have symbolic names; :class:`AddressMap` assigns each
+a stable IPv4 address for encoding and remembers the reverse mapping
+for decoding.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.packets import Endpoint
+from repro.trace.record import TraceRecord
+
+IP_HEADER_LEN = 20
+TCP_HEADER_LEN = 20
+PROTO_TCP = 6
+
+
+class AddressMap:
+    """Bidirectional mapping between symbolic host names and IPv4 text."""
+
+    def __init__(self) -> None:
+        self._forward: dict[str, str] = {}
+        self._reverse: dict[str, str] = {}
+        self._next_host = 1
+
+    def ip_for(self, name: str) -> str:
+        """The IPv4 address for *name*, allocating one if new."""
+        if _looks_like_ip(name):
+            return name
+        if name not in self._forward:
+            ip = f"10.0.{self._next_host // 256}.{self._next_host % 256}"
+            self._next_host += 1
+            self._forward[name] = ip
+            self._reverse[ip] = name
+        return self._forward[name]
+
+    def name_for(self, ip: str) -> str:
+        """The symbolic name for *ip*, or the ip itself if unknown."""
+        return self._reverse.get(ip, ip)
+
+
+def _looks_like_ip(name: str) -> bool:
+    parts = name.split(".")
+    return len(parts) == 4 and all(p.isdigit() and int(p) < 256
+                                   for p in parts)
+
+
+def _ip_to_bytes(ip: str) -> bytes:
+    return bytes(int(part) for part in ip.split("."))
+
+
+def _bytes_to_ip(raw: bytes) -> str:
+    return ".".join(str(b) for b in raw)
+
+
+def internet_checksum(data: bytes) -> int:
+    """RFC 1071 ones-complement checksum."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = sum(struct.unpack(f"!{len(data) // 2}H", data))
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def encode_record(record: TraceRecord,
+                  addresses: AddressMap | None = None) -> bytes:
+    """Encode a record as a raw IPv4 packet (headers + zero payload)."""
+    addresses = addresses or AddressMap()
+    src_ip = _ip_to_bytes(addresses.ip_for(record.src.addr))
+    dst_ip = _ip_to_bytes(addresses.ip_for(record.dst.addr))
+
+    options = b""
+    if record.mss_option is not None:
+        options = struct.pack("!BBH", 2, 4, record.mss_option)
+    data_offset = (TCP_HEADER_LEN + len(options)) // 4
+    payload = bytes(record.payload)
+
+    tcp_header = struct.pack(
+        "!HHIIBBHHH",
+        record.src.port, record.dst.port,
+        record.seq, record.ack,
+        data_offset << 4, record.flags,
+        record.window, 0, 0)
+    tcp_segment = tcp_header + options + payload
+    pseudo = src_ip + dst_ip + struct.pack("!BBH", 0, PROTO_TCP,
+                                           len(tcp_segment))
+    checksum = internet_checksum(pseudo + tcp_segment)
+    tcp_segment = (tcp_segment[:16] + struct.pack("!H", checksum)
+                   + tcp_segment[18:])
+    if record.corrupted:
+        # Damage a byte after checksumming, as line noise would.
+        damage_at = len(tcp_segment) - 1
+        tcp_segment = (tcp_segment[:damage_at]
+                       + bytes([tcp_segment[damage_at] ^ 0xFF])
+                       + tcp_segment[damage_at + 1:])
+
+    total_len = IP_HEADER_LEN + len(tcp_segment)
+    ip_header = struct.pack(
+        "!BBHHHBBH4s4s",
+        0x45, 0, total_len,
+        record.packet_id & 0xFFFF, 0,
+        64, PROTO_TCP, 0,
+        src_ip, dst_ip)
+    ip_checksum = internet_checksum(ip_header)
+    ip_header = ip_header[:10] + struct.pack("!H", ip_checksum) + ip_header[12:]
+    return ip_header + tcp_segment
+
+
+def decode_packet(data: bytes, timestamp: float,
+                  addresses: AddressMap | None = None,
+                  verify_checksum: bool = True) -> TraceRecord:
+    """Decode a raw IPv4/TCP packet into a trace record.
+
+    With ``verify_checksum`` (and an untruncated packet) the record's
+    ``corrupted`` flag reflects an actual TCP checksum failure.
+    """
+    if len(data) < IP_HEADER_LEN:
+        raise ValueError("packet shorter than an IP header")
+    version_ihl = data[0]
+    if version_ihl >> 4 != 4:
+        raise ValueError(f"not IPv4 (version {version_ihl >> 4})")
+    ihl = (version_ihl & 0x0F) * 4
+    total_len = struct.unpack("!H", data[2:4])[0]
+    packet_id = struct.unpack("!H", data[4:6])[0]
+    proto = data[9]
+    if proto != PROTO_TCP:
+        raise ValueError(f"not TCP (protocol {proto})")
+    src_ip = _bytes_to_ip(data[12:16])
+    dst_ip = _bytes_to_ip(data[16:20])
+
+    tcp = data[ihl:]
+    if len(tcp) < TCP_HEADER_LEN:
+        raise ValueError("packet shorter than a TCP header")
+    (src_port, dst_port, seq, ack, offset_byte, flags, window,
+     _checksum, _urgent) = struct.unpack("!HHIIBBHHH", tcp[:20])
+    header_len = (offset_byte >> 4) * 4
+    options = tcp[20:header_len]
+    mss_option = None
+    i = 0
+    while i < len(options):
+        kind = options[i]
+        if kind == 0:
+            break
+        if kind == 1:
+            i += 1
+            continue
+        if i + 1 >= len(options):
+            break
+        length = options[i + 1]
+        if kind == 2 and length == 4:
+            mss_option = struct.unpack("!H", options[i + 2:i + 4])[0]
+        i += max(length, 2)
+
+    payload_len = total_len - ihl - header_len
+    truncated = len(data) < total_len
+    corrupted = False
+    if verify_checksum and not truncated:
+        pseudo = (data[12:16] + data[16:20]
+                  + struct.pack("!BBH", 0, PROTO_TCP, len(tcp)))
+        corrupted = internet_checksum(pseudo + tcp) != 0
+
+    if addresses is not None:
+        src_addr = addresses.name_for(src_ip)
+        dst_addr = addresses.name_for(dst_ip)
+    else:
+        src_addr, dst_addr = src_ip, dst_ip
+
+    return TraceRecord(
+        timestamp=timestamp,
+        src=Endpoint(src_addr, src_port), dst=Endpoint(dst_addr, dst_port),
+        seq=seq, ack=ack, flags=flags, payload=max(payload_len, 0),
+        window=window, mss_option=mss_option, corrupted=corrupted,
+        packet_id=packet_id)

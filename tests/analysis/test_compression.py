@@ -1,0 +1,82 @@
+"""Ack-compression detection and asymmetric paths."""
+
+import pytest
+
+from repro.analysis.compression import detect_ack_compression
+from repro.capture.filter import attach_filter_pair
+from repro.netsim.crosstraffic import CrossTrafficSource
+from repro.netsim.engine import Engine
+from repro.netsim.network import build_path
+from repro.tcp.catalog import get_behavior
+from repro.tcp.connection import run_bulk_transfer
+from repro.units import kbit, kbyte, mbit
+
+from tests.conftest import cached_transfer
+
+
+def compressed_run():
+    """A transfer whose acks cross a thin, bursty reverse path."""
+    engine = Engine()
+    path = build_path(engine, bottleneck_bandwidth=mbit(1.0),
+                      bottleneck_delay=0.030,
+                      reverse_bottleneck_bandwidth=kbit(128),
+                      queue_limit=60)
+    sender_filter, receiver_filter = attach_filter_pair(path)
+    source = CrossTrafficSource(engine, path.reverse_bottleneck,
+                                rate=kbit(128) * 0.9, packet_size=512,
+                                on_time=0.3, off_time=0.3)
+    source.start()
+    result = run_bulk_transfer(get_behavior("reno"), data_size=kbyte(60),
+                               path=path, max_duration=300)
+    return result, sender_filter.trace(), receiver_filter.trace()
+
+
+class TestAsymmetricPath:
+    def test_reverse_parameters_applied(self):
+        engine = Engine()
+        path = build_path(engine, bottleneck_bandwidth=mbit(1.0),
+                          reverse_bottleneck_bandwidth=kbit(64),
+                          reverse_bottleneck_delay=0.050)
+        assert path.reverse_bottleneck.bandwidth == kbit(64)
+        assert path.reverse_bottleneck.delay == 0.050
+        assert path.forward_bottleneck.bandwidth == mbit(1.0)
+
+    def test_defaults_symmetric(self):
+        engine = Engine()
+        path = build_path(engine, bottleneck_bandwidth=mbit(2.0),
+                          bottleneck_delay=0.025)
+        assert path.reverse_bottleneck.bandwidth == mbit(2.0)
+        assert path.reverse_bottleneck.delay == 0.025
+
+    def test_transfer_completes_over_thin_upstream(self):
+        result, _, _ = compressed_run()
+        assert result.completed
+
+
+class TestCompressionDetection:
+    def test_detected_on_bursty_reverse_path(self):
+        _, sender_trace, _ = compressed_run()
+        events = detect_ack_compression(sender_trace)
+        assert events
+        assert all(e.factor >= 4.0 for e in events)
+        assert all(e.acks >= 3 for e in events)
+
+    def test_no_false_positives_on_clean_paths(self):
+        for implementation in ("reno", "linux-1.0", "solaris-2.4"):
+            trace = cached_transfer(implementation).sender_trace
+            assert detect_ack_compression(trace) == []
+
+    def test_no_false_positives_under_loss(self):
+        trace = cached_transfer("reno", "wan-lossy", seed=3).sender_trace
+        assert detect_ack_compression(trace) == []
+
+    def test_acks_were_generated_smoothly(self):
+        """The compression happened in the network: at the receiver the
+        same acks left with data-clocked spacing."""
+        _, sender_trace, receiver_trace = compressed_run()
+        assert detect_ack_compression(sender_trace)
+        assert detect_ack_compression(receiver_trace) == []
+
+    def test_empty_trace(self):
+        from repro.trace.record import Trace
+        assert detect_ack_compression(Trace()) == []

@@ -1,0 +1,66 @@
+"""Sequence-plot extraction and rendering."""
+
+from repro.analysis.seqplot import render_ascii_plot, sequence_plot
+from repro.trace.record import Trace
+
+from tests.conftest import cached_transfer
+
+
+class TestExtraction:
+    def test_point_counts(self):
+        trace = cached_transfer("reno").sender_trace
+        plot = sequence_plot(trace)
+        assert len(plot.data_points) == len(trace.data_packets())
+        assert len(plot.ack_points) == len(trace.acks())
+
+    def test_times_relative_to_start(self):
+        plot = sequence_plot(cached_transfer("reno").sender_trace)
+        assert plot.data_points[0][0] >= 0.0
+        assert plot.duration > 0
+
+    def test_sequences_relative_to_iss(self):
+        plot = sequence_plot(cached_transfer("reno").sender_trace)
+        first_time, first_seq = plot.data_points[0]
+        assert first_seq == 513   # first segment's upper sequence number
+
+    def test_data_uses_upper_sequence_number(self):
+        plot = sequence_plot(cached_transfer("reno").sender_trace)
+        assert plot.max_seq >= 51200
+
+    def test_monotone_progress_visible(self):
+        plot = sequence_plot(cached_transfer("reno").sender_trace)
+        seqs = [s for _, s in plot.data_points]
+        assert seqs == sorted(seqs)   # no retransmissions on clean path
+
+    def test_retransmissions_appear_as_regressions(self):
+        plot = sequence_plot(
+            cached_transfer("linux-1.0", "wan-lossy", seed=3).sender_trace)
+        seqs = [s for _, s in plot.data_points]
+        assert seqs != sorted(seqs)
+
+    def test_empty_trace(self):
+        plot = sequence_plot(Trace())
+        assert plot.data_points == [] and plot.ack_points == []
+
+
+class TestRendering:
+    def test_contains_marks(self):
+        plot = sequence_plot(cached_transfer("reno").sender_trace)
+        art = render_ascii_plot(plot)
+        assert "#" in art and "o" in art
+
+    def test_dimensions(self):
+        plot = sequence_plot(cached_transfer("reno").sender_trace)
+        art = render_ascii_plot(plot, width=40, height=10)
+        grid_lines = [line for line in art.splitlines()
+                      if line.startswith("|")]
+        assert len(grid_lines) == 10
+        assert all(len(line) == 42 for line in grid_lines)
+
+    def test_title_included(self):
+        plot = sequence_plot(cached_transfer("reno").sender_trace,
+                             title="my plot")
+        assert render_ascii_plot(plot).startswith("my plot")
+
+    def test_empty_plot(self):
+        assert render_ascii_plot(sequence_plot(Trace())) == "(empty plot)"

@@ -1,0 +1,78 @@
+"""Summary statistics helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.stats import ack_class_table, describe, retransmission_stats
+from repro.core.receiver.analyzer import analyze_receiver
+from repro.tcp.catalog import get_behavior
+
+from tests.conftest import cached_transfer
+
+
+class TestDescribe:
+    def test_known_values(self):
+        summary = describe([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary.count == 5
+        assert summary.minimum == 1.0
+        assert summary.maximum == 5.0
+        assert summary.median == 3.0
+        assert summary.mean == 3.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            describe([])
+
+    def test_single_value(self):
+        summary = describe([7.0])
+        assert summary.median == summary.p90 == 7.0
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=200))
+    def test_invariants(self, values):
+        summary = describe(values)
+        ulp = 1e-6   # float summation can land an ulp past the bounds
+        assert summary.minimum <= summary.median <= summary.maximum
+        assert summary.minimum - ulp <= summary.mean <= summary.maximum + ulp
+        assert summary.median <= summary.p90 <= summary.maximum
+
+
+class TestAckClassTable:
+    def test_rows_per_implementation(self):
+        analyses = []
+        for implementation in ("reno", "linux-1.0"):
+            transfer = cached_transfer(implementation)
+            analyses.append(analyze_receiver(
+                transfer.receiver_trace, get_behavior(implementation)))
+        table = ack_class_table(analyses)
+        assert set(table) == {"reno", "linux-1.0"}
+
+    def test_fractions_sum_to_one(self):
+        transfer = cached_transfer("reno")
+        table = ack_class_table([analyze_receiver(
+            transfer.receiver_trace, get_behavior("reno"))])
+        row = table["reno"]
+        total = (row["delayed_fraction"] + row["normal_fraction"]
+                 + row["stretch_fraction"])
+        assert total == pytest.approx(1.0)
+
+    def test_linux_all_delayed(self):
+        transfer = cached_transfer("linux-1.0")
+        table = ack_class_table([analyze_receiver(
+            transfer.receiver_trace, get_behavior("linux-1.0"))])
+        assert table["linux-1.0"]["delayed_fraction"] == pytest.approx(1.0)
+
+
+class TestRetransmissionStats:
+    def test_aggregates_by_implementation(self):
+        results = [
+            ("reno", cached_transfer("reno", "wan-lossy", seed=1).result),
+            ("reno", cached_transfer("reno", "wan-lossy", seed=2).result),
+            ("linux-1.0",
+             cached_transfer("linux-1.0", "wan-lossy", seed=1).result),
+        ]
+        rows = retransmission_stats(results)
+        assert rows["reno"]["transfers"] == 2
+        assert rows["linux-1.0"]["rexmit_fraction"] \
+            > rows["reno"]["rexmit_fraction"]

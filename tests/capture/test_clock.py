@@ -1,0 +1,63 @@
+"""Clock models (§3.1.4)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.capture.clock import PerfectClock, SkewedClock, SteppingClock
+
+times = st.floats(min_value=0.0, max_value=1e6,
+                  allow_nan=False, allow_infinity=False)
+
+
+class TestPerfectClock:
+    @given(times)
+    def test_identity(self, t):
+        assert PerfectClock().read(t) == t
+
+
+class TestSkewedClock:
+    def test_rate_scales(self):
+        clock = SkewedClock(rate=1.001)
+        assert clock.read(1000.0) == pytest.approx(1001.0)
+
+    def test_offset_shifts(self):
+        clock = SkewedClock(offset=5.0)
+        assert clock.read(1.0) == pytest.approx(6.0)
+
+    @given(times, times)
+    def test_monotone_when_rate_positive(self, a, b):
+        clock = SkewedClock(rate=1.0001, offset=3.0)
+        earlier, later = sorted((a, b))
+        assert clock.read(earlier) <= clock.read(later)
+
+
+class TestSteppingClock:
+    def test_no_steps_behaves_like_skewed(self):
+        clock = SteppingClock(rate=1.0, offset=2.0)
+        assert clock.read(10.0) == pytest.approx(12.0)
+
+    def test_backward_step_applies_after_time(self):
+        clock = SteppingClock(steps=[(5.0, -1.0)])
+        assert clock.read(4.9) == pytest.approx(4.9)
+        assert clock.read(5.0) == pytest.approx(4.0)
+        assert clock.read(6.0) == pytest.approx(5.0)
+
+    def test_backward_step_causes_time_travel(self):
+        clock = SteppingClock(steps=[(5.0, -1.0)])
+        assert clock.read(5.1) < clock.read(4.9)
+
+    def test_multiple_steps_accumulate(self):
+        clock = SteppingClock(steps=[(1.0, -0.5), (2.0, -0.5)])
+        assert clock.read(3.0) == pytest.approx(2.0)
+
+    def test_forward_step(self):
+        clock = SteppingClock(steps=[(1.0, +2.0)])
+        assert clock.read(1.5) == pytest.approx(3.5)
+
+    def test_models_periodic_hard_sync(self):
+        """The paper's BSDI/NetBSD scenario: a fast clock yanked back
+        periodically — each yank is a time-travel opportunity."""
+        clock = SteppingClock(rate=1.01,
+                              steps=[(10.0, -0.1), (20.0, -0.1)])
+        assert clock.read(10.0) < clock.read(9.999)

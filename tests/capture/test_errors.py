@@ -1,0 +1,110 @@
+"""Error injectors (§3.1)."""
+
+import pytest
+
+from repro.capture.errors import (
+    DropInjector,
+    DuplicationInjector,
+    ResequencingInjector,
+)
+from repro.packets import ACK, Endpoint, Segment
+
+
+def make_segment(payload=472):
+    return Segment(src=Endpoint("a", 1), dst=Endpoint("b", 2), seq=0,
+                   ack=0, flags=ACK, payload=payload)
+
+
+class TestDropInjector:
+    def test_zero_rate_drops_nothing(self):
+        injector = DropInjector(rate=0.0)
+        assert not any(injector.should_drop(make_segment(), True)
+                       for _ in range(100))
+
+    def test_rate_respected_roughly(self):
+        injector = DropInjector(rate=0.2, seed=1)
+        drops = sum(injector.should_drop(make_segment(), True)
+                    for _ in range(1000))
+        assert 150 <= drops <= 250
+        assert injector.true_drops == drops
+
+    def test_accurate_report(self):
+        injector = DropInjector(rate=1.0, report_style="accurate")
+        injector.should_drop(make_segment(), True)
+        assert injector.reported_drops() == 1
+
+    def test_none_report(self):
+        injector = DropInjector(rate=1.0, report_style="none")
+        injector.should_drop(make_segment(), True)
+        assert injector.reported_drops() is None
+
+    def test_lying_zero_report(self):
+        injector = DropInjector(rate=1.0, report_style="zero")
+        injector.should_drop(make_segment(), True)
+        assert injector.reported_drops() == 0
+
+    def test_stale_report_fixed_count(self):
+        # The IRIX site reporting exactly 62 drops for 256 traces.
+        injector = DropInjector(rate=0.0, report_style="stale")
+        assert injector.reported_drops() == 62
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DropInjector(rate=2.0)
+        with pytest.raises(ValueError):
+            DropInjector(report_style="sometimes")
+
+
+class TestDuplicationInjector:
+    def test_two_timestamps_per_packet(self):
+        injector = DuplicationInjector()
+        stamps = injector.timestamps(make_segment(), 1.0)
+        assert len(stamps) == 2
+        assert stamps[0] < stamps[1] or stamps[0] == pytest.approx(stamps[1],
+                                                                   abs=1e-3)
+
+    def test_burst_shows_two_slopes(self):
+        """Figure 1's signature: first copies at the OS rate, second
+        copies at the (slower) wire rate."""
+        injector = DuplicationInjector(os_rate=2.5e6, wire_rate=1.0e6)
+        firsts, seconds = [], []
+        for _ in range(20):
+            first, second = injector.timestamps(make_segment(), 0.0)
+            firsts.append(first)
+            seconds.append(second)
+        os_span = firsts[-1] - firsts[0]
+        wire_span = seconds[-1] - seconds[0]
+        assert wire_span > 2 * os_span
+
+    def test_wire_copy_never_precedes_os_copy(self):
+        injector = DuplicationInjector()
+        for i in range(50):
+            first, second = injector.timestamps(make_segment(), i * 0.001)
+            assert second >= first
+
+
+class TestResequencingInjector:
+    def test_inbound_lags_more_than_outbound(self):
+        injector = ResequencingInjector(outbound_lag=0.0001,
+                                        inbound_lag=0.003, jitter=0.0)
+        out = injector.process_time(1.0, outbound=True)
+        inbound = injector.process_time(1.0, outbound=False)
+        assert inbound - out == pytest.approx(0.0029)
+
+    def test_each_path_preserves_order(self):
+        injector = ResequencingInjector(jitter=0.002, seed=3)
+        outs = [injector.process_time(i * 0.0001, outbound=True)
+                for i in range(50)]
+        ins = [injector.process_time(i * 0.0001, outbound=False)
+               for i in range(50)]
+        assert outs == sorted(outs)
+        assert ins == sorted(ins)
+
+    def test_cross_path_inversion_happens(self):
+        """An ack arriving (wire) just before a data send can be
+        stamped after it: the inversion that wrecks cause-and-effect."""
+        injector = ResequencingInjector(outbound_lag=0.0001,
+                                        inbound_lag=0.003, jitter=0.0)
+        ack_stamp = injector.process_time(1.0, outbound=False)
+        data_stamp = injector.process_time(1.0005, outbound=True)
+        assert data_stamp < ack_stamp

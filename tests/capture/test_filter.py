@@ -1,0 +1,106 @@
+"""Packet filters and vantage attachment."""
+
+import pytest
+
+from repro.capture.clock import SkewedClock, SteppingClock
+from repro.capture.errors import (
+    DropInjector,
+    DuplicationInjector,
+    ResequencingInjector,
+)
+from repro.capture.filter import PacketFilter
+from repro.packets import ACK, Endpoint, Segment
+
+from tests.conftest import cached_transfer
+
+
+def make_segment(seq=0, payload=100):
+    return Segment(src=Endpoint("a", 1), dst=Endpoint("b", 2), seq=seq,
+                   ack=0, flags=ACK, payload=payload)
+
+
+class TestBasicRecording:
+    def test_records_in_order(self):
+        packet_filter = PacketFilter()
+        for i in range(5):
+            packet_filter.observe_outbound(make_segment(seq=i * 100),
+                                           float(i))
+        trace = packet_filter.trace()
+        assert [r.timestamp for r in trace] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_records_snapshot_fields(self):
+        packet_filter = PacketFilter()
+        segment = make_segment(seq=500, payload=99)
+        packet_filter.observe_inbound(segment, 1.5)
+        record = packet_filter.trace().records[0]
+        assert (record.seq, record.payload, record.timestamp) == (500, 99, 1.5)
+        assert record.packet_id == segment.packet_id
+
+    def test_perfect_filter_reports_zero_drops(self):
+        packet_filter = PacketFilter()
+        assert packet_filter.trace().reported_drops == 0
+
+    def test_clock_applied_to_timestamps(self):
+        packet_filter = PacketFilter(clock=SkewedClock(offset=100.0))
+        packet_filter.observe_outbound(make_segment(), 1.0)
+        assert packet_filter.trace().records[0].timestamp == 101.0
+
+
+class TestErrorPipeline:
+    def test_drop_injector_omits_records(self):
+        packet_filter = PacketFilter(drops=DropInjector(rate=1.0))
+        packet_filter.observe_outbound(make_segment(), 0.0)
+        trace = packet_filter.trace()
+        assert len(trace) == 0
+        assert trace.reported_drops == 1
+
+    def test_duplication_doubles_outbound_only(self):
+        packet_filter = PacketFilter(duplication=DuplicationInjector())
+        packet_filter.observe_outbound(make_segment(), 0.0)
+        packet_filter.observe_inbound(make_segment(), 1.0)
+        assert len(packet_filter.trace()) == 3
+
+    def test_resequencing_reorders_records(self):
+        injector = ResequencingInjector(outbound_lag=0.0001,
+                                        inbound_lag=0.005, jitter=0.0)
+        packet_filter = PacketFilter(resequencing=injector)
+        packet_filter.observe_inbound(make_segment(seq=1), 1.0)    # ack first
+        packet_filter.observe_outbound(make_segment(seq=2), 1.001)
+        trace = packet_filter.trace()
+        assert trace.records[0].seq == 2   # outbound overtook in the trace
+
+    def test_backward_clock_step_produces_time_travel(self):
+        clock = SteppingClock(steps=[(1.0, -0.5)])
+        packet_filter = PacketFilter(clock=clock)
+        packet_filter.observe_outbound(make_segment(), 0.9)
+        packet_filter.observe_outbound(make_segment(), 1.1)
+        records = packet_filter.trace().records
+        assert records[1].timestamp < records[0].timestamp
+
+
+class TestAttachment:
+    def test_attach_at_host_sees_both_directions(self):
+        transfer = cached_transfer("reno")
+        trace = transfer.sender_trace
+        flow = trace.primary_flow()
+        flows = {r.flow for r in trace}
+        assert flow in flows and flow.reversed() in flows
+
+    def test_attach_filter_pair_vantages(self):
+        transfer = cached_transfer("reno")
+        assert transfer.sender_trace.vantage == "sender"
+        assert transfer.receiver_trace.vantage == "receiver"
+
+    def test_pair_traces_cover_same_connection(self):
+        transfer = cached_transfer("reno")
+        assert (transfer.sender_trace.primary_flow()
+                == transfer.receiver_trace.primary_flow())
+
+    def test_sender_records_sends_before_receiver_records_arrivals(self):
+        transfer = cached_transfer("reno")
+        flow = transfer.sender_trace.primary_flow()
+        send_times = {r.packet_id: r.timestamp
+                      for r in transfer.sender_trace if r.flow == flow}
+        for record in transfer.receiver_trace:
+            if record.flow == flow and record.packet_id in send_times:
+                assert record.timestamp > send_times[record.packet_id]

@@ -1,0 +1,69 @@
+"""Finite-resolution timestamps (mid-1990s kernel clocks)."""
+
+import pytest
+
+from repro.capture.clock import QuantizedClock, SkewedClock
+from repro.capture.filter import PacketFilter
+from repro.core import analyze_sender, calibrate_trace
+from repro.harness.scenarios import traced_transfer
+from repro.tcp.catalog import get_behavior
+
+
+class TestQuantization:
+    def test_rounds_down_to_tick(self):
+        clock = QuantizedClock(resolution=0.010)
+        assert clock.read(1.2345) == pytest.approx(1.230)
+
+    def test_exact_ticks_unchanged(self):
+        clock = QuantizedClock(resolution=0.010)
+        assert clock.read(1.230) == pytest.approx(1.230)
+
+    def test_zero_resolution_passthrough(self):
+        clock = QuantizedClock(resolution=0.0)
+        assert clock.read(1.2345) == 1.2345
+
+    def test_wraps_inner_clock(self):
+        clock = QuantizedClock(inner=SkewedClock(offset=100.0),
+                               resolution=0.010)
+        assert clock.read(1.2345) == pytest.approx(101.230)
+
+    def test_monotone(self):
+        clock = QuantizedClock(resolution=0.010)
+        values = [clock.read(t / 1000) for t in range(200)]
+        assert values == sorted(values)
+
+
+class TestAnalysisUnderQuantization:
+    """The analyzer must tolerate tick-resolution timestamps: heavy
+    ties and invisible sub-tick response delays."""
+
+    @pytest.mark.parametrize("resolution", [0.001, 0.010])
+    def test_self_analysis_survives(self, resolution):
+        packet_filter = PacketFilter(
+            vantage="sender", clock=QuantizedClock(resolution=resolution))
+        transfer = traced_transfer(get_behavior("reno"), "wan-lossy",
+                                   data_size=51200, seed=1,
+                                   sender_filter=packet_filter)
+        analysis = analyze_sender(transfer.sender_trace,
+                                  get_behavior("reno"))
+        assert analysis.violation_count == 0
+
+    def test_no_false_time_travel(self):
+        packet_filter = PacketFilter(
+            vantage="sender", clock=QuantizedClock(resolution=0.010))
+        transfer = traced_transfer(get_behavior("reno"), "wan",
+                                   data_size=51200,
+                                   sender_filter=packet_filter)
+        report = calibrate_trace(transfer.sender_trace, get_behavior("reno"))
+        assert report.time_travel == []
+
+    def test_response_delays_quantized_not_negative(self):
+        packet_filter = PacketFilter(
+            vantage="sender", clock=QuantizedClock(resolution=0.010))
+        transfer = traced_transfer(get_behavior("reno"), "wan",
+                                   data_size=51200,
+                                   sender_filter=packet_filter)
+        analysis = analyze_sender(transfer.sender_trace,
+                                  get_behavior("reno"))
+        assert all(d >= 0 for d in analysis.response_delays)
+        assert analysis.min_response_delay == 0.0  # sub-tick delays vanish

@@ -1,0 +1,251 @@
+"""Calibration battery (§3): detection with zero false positives."""
+
+import pytest
+
+from repro.capture.clock import SkewedClock, SteppingClock
+from repro.capture.errors import (
+    DropInjector,
+    DuplicationInjector,
+    ResequencingInjector,
+)
+from repro.capture.filter import PacketFilter
+from repro.core.calibrate import calibrate_trace
+from repro.core.calibrate.additions import (
+    detect_duplicates,
+    remove_duplicates,
+    slope_analysis,
+)
+from repro.core.calibrate.timing import detect_time_travel, pair_records
+from repro.harness.scenarios import traced_transfer
+from repro.tcp.catalog import get_behavior
+from repro.units import kbyte
+
+from tests.conftest import cached_transfer
+
+
+def injected_transfer(implementation="reno", scenario="wan", **filter_kwargs):
+    packet_filter = PacketFilter(vantage="sender", **filter_kwargs)
+    return traced_transfer(get_behavior(implementation), scenario,
+                           data_size=kbyte(50),
+                           sender_filter=packet_filter), packet_filter
+
+
+class TestCleanTraces:
+    """No false positives: clean filters yield clean reports."""
+
+    @pytest.mark.parametrize("implementation,scenario", [
+        ("reno", "wan"), ("reno", "wan-lossy"), ("tahoe", "wan-lossy"),
+        ("linux-1.0", "wan-lossy"), ("solaris-2.4", "transatlantic"),
+        ("sunos-4.1.3", "lan"), ("trumpet-2.0b", "wan-lossy"),
+    ])
+    def test_sender_side_clean(self, implementation, scenario):
+        transfer = cached_transfer(implementation, scenario, seed=1)
+        report = calibrate_trace(transfer.sender_trace,
+                                 get_behavior(implementation),
+                                 peer_trace=transfer.receiver_trace)
+        assert report.clean, report.summary()
+
+    @pytest.mark.parametrize("implementation,scenario", [
+        ("reno", "wan-lossy"), ("linux-1.0", "wan-lossy"),
+        ("solaris-2.4", "wan-lossy"),
+    ])
+    def test_receiver_side_clean(self, implementation, scenario):
+        transfer = cached_transfer(implementation, scenario, seed=1)
+        report = calibrate_trace(transfer.receiver_trace,
+                                 get_behavior(implementation))
+        assert report.clean, report.summary()
+
+
+class TestDropDetection:
+    def test_sender_side_drops_detected(self):
+        transfer, packet_filter = injected_transfer(
+            drops=DropInjector(rate=0.05, seed=4, report_style="zero"))
+        report = calibrate_trace(transfer.sender_trace, get_behavior("reno"))
+        assert packet_filter.drops.true_drops > 0
+        assert report.drop_evidence
+        assert report.reported_drops == 0     # the filter lied
+
+    def test_untrustworthy_reports_documented(self):
+        transfer, packet_filter = injected_transfer(
+            drops=DropInjector(rate=0.05, seed=4, report_style="stale"))
+        report = calibrate_trace(transfer.sender_trace, get_behavior("reno"))
+        assert report.reported_drops == 62    # the stale IRIX count
+
+    def test_true_network_drops_not_misflagged(self):
+        """The crucial §3.1.1 discipline: never mistake a genuine
+        network drop for a filter drop."""
+        transfer = cached_transfer("reno", "wan-lossy", seed=3)
+        report = calibrate_trace(transfer.sender_trace, get_behavior("reno"))
+        assert report.drop_evidence == []
+
+    def test_receiver_vantage_drop_checks(self):
+        packet_filter = PacketFilter(
+            vantage="receiver",
+            drops=DropInjector(rate=0.07, seed=2, report_style="none"))
+        transfer = traced_transfer(get_behavior("reno"), "wan",
+                                   data_size=kbyte(50),
+                                   receiver_filter=packet_filter)
+        report = calibrate_trace(transfer.receiver_trace,
+                                 get_behavior("reno"))
+        assert packet_filter.drops.true_drops > 0
+        assert report.drop_evidence
+
+
+class TestAdditionDetection:
+    def test_duplication_detected_and_removed(self):
+        transfer, _ = injected_transfer(scenario="lan",
+                                        duplication=DuplicationInjector())
+        trace = transfer.sender_trace
+        duplicates = detect_duplicates(trace)
+        flow = trace.primary_flow()
+        outbound = [r for r in trace if r.flow == flow]
+        assert len(duplicates) > len(outbound) // 3
+        cleaned = remove_duplicates(trace, duplicates)
+        assert len(cleaned) == len(trace) - len(duplicates)
+        assert not detect_duplicates(cleaned)
+
+    def test_removal_keeps_earlier_copy(self):
+        transfer, _ = injected_transfer(scenario="lan",
+                                        duplication=DuplicationInjector())
+        trace = transfer.sender_trace
+        duplicates = detect_duplicates(trace)
+        cleaned = remove_duplicates(trace, duplicates)
+        kept = {id(r) for r in cleaned.records}
+        for event in duplicates:
+            assert id(event.first) in kept
+            assert id(event.second) not in kept
+
+    def test_slope_analysis_shows_two_rates(self):
+        """Figure 1: OS-rate copies ~2.5 MB/s, wire copies ~1 MB/s."""
+        transfer, _ = injected_transfer(
+            scenario="lan",
+            duplication=DuplicationInjector(os_rate=2.6e6, wire_rate=1.0e6))
+        slopes = slope_analysis(transfer.sender_trace)
+        assert slopes is not None
+        assert slopes.first_copy_rate > 1.8 * slopes.second_copy_rate
+
+    def test_cleaned_trace_analyzes_without_violations(self):
+        transfer, _ = injected_transfer(scenario="lan",
+                                        duplication=DuplicationInjector())
+        from repro.core.sender.analyzer import analyze_sender
+        cleaned = remove_duplicates(transfer.sender_trace)
+        analysis = analyze_sender(cleaned, get_behavior("reno"))
+        assert analysis.violation_count == 0
+
+    def test_isolated_pairs_left_alone(self):
+        transfer = cached_transfer("linux-1.0", "wan-lossy", seed=2)
+        report = calibrate_trace(transfer.receiver_trace,
+                                 get_behavior("linux-1.0"))
+        assert report.duplicates == []
+
+
+class TestResequencingDetection:
+    def test_solaris_filter_detected(self):
+        transfer, _ = injected_transfer(
+            implementation="solaris-2.4",
+            resequencing=ResequencingInjector(seed=1))
+        report = calibrate_trace(transfer.sender_trace,
+                                 get_behavior("solaris-2.4"))
+        assert len(report.resequencing) > 3
+        situations = {e.situation for e in report.resequencing}
+        assert "window_then_ack" in situations or "lull_then_ack" in situations
+
+    def test_clean_filter_no_resequencing(self):
+        transfer = cached_transfer("solaris-2.4", "wan")
+        report = calibrate_trace(transfer.sender_trace,
+                                 get_behavior("solaris-2.4"))
+        assert report.resequencing == []
+
+    def test_fraction_of_affected_traces(self):
+        """§3.1.3: 'about 20% of Solaris self-traces' are plagued —
+        with jitter, some traces show inversions, others do not."""
+        affected = 0
+        for seed in range(6):
+            packet_filter = PacketFilter(
+                vantage="sender",
+                resequencing=ResequencingInjector(seed=seed, jitter=0.004))
+            transfer = traced_transfer(get_behavior("solaris-2.4"), "wan",
+                                       data_size=kbyte(30),
+                                       sender_filter=packet_filter)
+            report = calibrate_trace(transfer.sender_trace,
+                                     get_behavior("solaris-2.4"))
+            if report.resequencing:
+                affected += 1
+        assert 1 <= affected <= 6
+
+
+class TestTimingChecks:
+    def test_time_travel_detected(self):
+        transfer, _ = injected_transfer(
+            clock=SteppingClock(rate=1.0002, steps=[(0.5, -0.05)]))
+        events = detect_time_travel(transfer.sender_trace)
+        assert len(events) >= 1
+        assert events[0].magnitude > 0
+
+    def test_no_time_travel_on_monotone_clock(self):
+        transfer = cached_transfer("reno")
+        assert detect_time_travel(transfer.sender_trace) == []
+
+    def test_pair_records_matches_common_packets(self):
+        transfer = cached_transfer("reno")
+        pairs = pair_records(transfer.sender_trace, transfer.receiver_trace)
+        assert len(pairs) == len(transfer.sender_trace)
+
+    def test_pair_records_handles_drops(self):
+        transfer = cached_transfer("reno", "wan-lossy", seed=3)
+        pairs = pair_records(transfer.sender_trace, transfer.receiver_trace)
+        assert len(pairs) < len(transfer.sender_trace)
+
+    def test_skew_detected_and_estimated(self):
+        packet_filter = PacketFilter(vantage="sender",
+                                     clock=SkewedClock(rate=1.0005))
+        transfer = traced_transfer(get_behavior("reno"), "wan",
+                                   data_size=kbyte(100),
+                                   sender_filter=packet_filter,
+                                   sender_window=4096)
+        report = calibrate_trace(transfer.sender_trace, get_behavior("reno"),
+                                 peer_trace=transfer.receiver_trace)
+        analysis = report.pair_analysis
+        assert analysis.skew_detected
+        assert analysis.relative_skew_ppm == pytest.approx(-500, abs=100)
+
+    def test_skew_detected_under_congestion(self):
+        """The minimum-envelope de-noising: queueing in the data
+        direction must not hide the clock drift."""
+        packet_filter = PacketFilter(vantage="sender",
+                                     clock=SkewedClock(rate=1.0008))
+        transfer = traced_transfer(get_behavior("reno"), "modem-56k",
+                                   data_size=65536,
+                                   sender_filter=packet_filter)
+        report = calibrate_trace(transfer.sender_trace, get_behavior("reno"),
+                                 peer_trace=transfer.receiver_trace)
+        assert report.pair_analysis.skew_detected
+        assert report.pair_analysis.relative_skew_ppm == pytest.approx(
+            -800, rel=0.3)
+
+    def test_no_skew_on_clean_pair(self):
+        transfer = cached_transfer("reno", "wan-lossy", seed=9,
+                                   data_size=kbyte(100))
+        report = calibrate_trace(transfer.sender_trace, get_behavior("reno"),
+                                 peer_trace=transfer.receiver_trace)
+        assert not report.pair_analysis.skew_detected
+
+    def test_step_adjustment_detected(self):
+        packet_filter = PacketFilter(vantage="sender",
+                                     clock=SteppingClock(steps=[(1.0, 0.5)]))
+        transfer = traced_transfer(get_behavior("reno"), "wan",
+                                   data_size=kbyte(100),
+                                   sender_filter=packet_filter,
+                                   sender_window=4096)
+        report = calibrate_trace(transfer.sender_trace, get_behavior("reno"),
+                                 peer_trace=transfer.receiver_trace)
+        adjustments = report.pair_analysis.adjustments
+        assert len(adjustments) == 1
+        assert adjustments[0].magnitude == pytest.approx(-0.5, abs=0.05)
+
+    def test_no_adjustments_on_clean_pair(self):
+        transfer = cached_transfer("reno", "wan-lossy", seed=9,
+                                   data_size=kbyte(100))
+        report = calibrate_trace(transfer.sender_trace, get_behavior("reno"),
+                                 peer_trace=transfer.receiver_trace)
+        assert report.pair_analysis.adjustments == []

@@ -1,0 +1,180 @@
+"""Each §3.1.1 drop check against a hand-crafted trace.
+
+Crafted in the tcpdump text format (also exercising the parser) so
+each check's trigger condition is explicit and minimal.
+"""
+
+import pytest
+
+from repro.core.calibrate.drops import (
+    check_ack_for_unseen_data,
+    check_ack_regression,
+    check_dup_acks_without_cause,
+    check_retransmission_of_unseen,
+    check_sequence_gap,
+    check_stretch_ack_gap,
+    run_drop_checks,
+)
+from repro.tcp.catalog import get_behavior
+from repro.trace.text import parse_trace
+
+SENDER_PREFIX = """\
+0.000000 sender.1024 > receiver.9000: S 0:1(0) win 65535 <mss 512>
+0.070000 receiver.9000 > sender.1024: S. 0:1(0) ack 1 win 65535 <mss 512>
+0.070500 sender.1024 > receiver.9000: . 1:1(0) ack 1 win 65535
+"""
+
+
+def sender_trace(body: str):
+    trace = parse_trace(SENDER_PREFIX + body, vantage="sender")
+    return trace, trace.primary_flow()
+
+
+def receiver_trace(body: str):
+    trace = parse_trace(SENDER_PREFIX + body, vantage="receiver")
+    return trace, trace.primary_flow()
+
+
+class TestAckForUnseenData:
+    def test_fires_when_ack_exceeds_recorded_sends(self):
+        trace, flow = sender_trace(
+            "0.071000 sender.1024 > receiver.9000: . 1:513(512) ack 1 win 65535\n"
+            "0.150000 receiver.9000 > sender.1024: . 1:1(0) ack 1025 win 65535\n")
+        evidence = check_ack_for_unseen_data(trace, flow)
+        assert len(evidence) == 1
+        assert "1025" in evidence[0].detail
+
+    def test_quiet_when_consistent(self):
+        trace, flow = sender_trace(
+            "0.071000 sender.1024 > receiver.9000: . 1:513(512) ack 1 win 65535\n"
+            "0.150000 receiver.9000 > sender.1024: . 1:1(0) ack 513 win 65535\n")
+        assert check_ack_for_unseen_data(trace, flow) == []
+
+    def test_reports_each_gap_once(self):
+        trace, flow = sender_trace(
+            "0.071000 sender.1024 > receiver.9000: . 1:513(512) ack 1 win 65535\n"
+            "0.150000 receiver.9000 > sender.1024: . 1:1(0) ack 1025 win 65535\n"
+            "0.160000 receiver.9000 > sender.1024: . 1:1(0) ack 1025 win 65535\n")
+        assert len(check_ack_for_unseen_data(trace, flow)) == 1
+
+
+class TestSequenceGap:
+    def test_fires_on_skipped_sequence_space(self):
+        trace, flow = sender_trace(
+            "0.071000 sender.1024 > receiver.9000: . 1:513(512) ack 1 win 65535\n"
+            "0.072000 sender.1024 > receiver.9000: . 1025:1537(512) ack 1 win 65535\n")
+        evidence = check_sequence_gap(trace, flow)
+        assert len(evidence) == 1
+        assert "512 bytes unrecorded" in evidence[0].detail
+
+    def test_quiet_on_contiguous_sends(self):
+        trace, flow = sender_trace(
+            "0.071000 sender.1024 > receiver.9000: . 1:513(512) ack 1 win 65535\n"
+            "0.072000 sender.1024 > receiver.9000: . 513:1025(512) ack 1 win 65535\n")
+        assert check_sequence_gap(trace, flow) == []
+
+    def test_quiet_on_retransmission(self):
+        trace, flow = sender_trace(
+            "0.071000 sender.1024 > receiver.9000: . 1:513(512) ack 1 win 65535\n"
+            "0.072000 sender.1024 > receiver.9000: . 513:1025(512) ack 1 win 65535\n"
+            "1.500000 sender.1024 > receiver.9000: . 1:513(512) ack 1 win 65535\n")
+        assert check_sequence_gap(trace, flow) == []
+
+
+class TestAckRegression:
+    def test_fires_when_acks_go_backwards(self):
+        trace, flow = receiver_trace(
+            "0.071000 sender.1024 > receiver.9000: . 1:513(512) ack 1 win 65535\n"
+            "0.072000 sender.1024 > receiver.9000: . 513:1025(512) ack 1 win 65535\n"
+            "0.100000 receiver.9000 > sender.1024: . 1:1(0) ack 1025 win 65535\n"
+            "0.110000 receiver.9000 > sender.1024: . 1:1(0) ack 513 win 65535\n")
+        evidence = check_ack_regression(trace, flow)
+        assert len(evidence) == 1
+
+    def test_quiet_on_monotone_acks(self):
+        trace, flow = receiver_trace(
+            "0.071000 sender.1024 > receiver.9000: . 1:513(512) ack 1 win 65535\n"
+            "0.100000 receiver.9000 > sender.1024: . 1:1(0) ack 513 win 65535\n"
+            "0.110000 receiver.9000 > sender.1024: . 1:1(0) ack 513 win 65535\n")
+        assert check_ack_regression(trace, flow) == []
+
+
+class TestDupAcksWithoutCause:
+    def test_fires_on_unprovoked_dup(self):
+        trace, flow = receiver_trace(
+            "0.071000 sender.1024 > receiver.9000: . 1:513(512) ack 1 win 65535\n"
+            "0.100000 receiver.9000 > sender.1024: . 1:1(0) ack 513 win 65535\n"
+            "0.200000 receiver.9000 > sender.1024: . 1:1(0) ack 513 win 65535\n")
+        evidence = check_dup_acks_without_cause(trace, flow)
+        assert len(evidence) == 1
+
+    def test_quiet_when_arrival_provokes(self):
+        trace, flow = receiver_trace(
+            "0.071000 sender.1024 > receiver.9000: . 1:513(512) ack 1 win 65535\n"
+            "0.100000 receiver.9000 > sender.1024: . 1:1(0) ack 513 win 65535\n"
+            "0.150000 sender.1024 > receiver.9000: . 1025:1537(512) ack 1 win 65535\n"
+            "0.151000 receiver.9000 > sender.1024: . 1:1(0) ack 513 win 65535\n")
+        assert check_dup_acks_without_cause(trace, flow) == []
+
+    def test_fin_counts_as_provocation(self):
+        trace, flow = receiver_trace(
+            "0.071000 sender.1024 > receiver.9000: . 1:513(512) ack 1 win 65535\n"
+            "0.100000 receiver.9000 > sender.1024: . 1:1(0) ack 513 win 65535\n"
+            "0.150000 sender.1024 > receiver.9000: F. 1025:1026(0) ack 1 win 65535\n"
+            "0.151000 receiver.9000 > sender.1024: . 1:1(0) ack 513 win 65535\n")
+        assert check_dup_acks_without_cause(trace, flow) == []
+
+
+class TestStretchAckGap:
+    def test_fires_when_ack_covers_unseen_arrivals(self):
+        trace, flow = receiver_trace(
+            "0.071000 sender.1024 > receiver.9000: . 1:513(512) ack 1 win 65535\n"
+            "0.100000 receiver.9000 > sender.1024: . 1:1(0) ack 1025 win 65535\n")
+        evidence = check_stretch_ack_gap(trace, flow)
+        assert len(evidence) == 1
+
+    def test_out_of_order_arrivals_assemble(self):
+        trace, flow = receiver_trace(
+            "0.071000 sender.1024 > receiver.9000: . 513:1025(512) ack 1 win 65535\n"
+            "0.072000 sender.1024 > receiver.9000: . 1:513(512) ack 1 win 65535\n"
+            "0.100000 receiver.9000 > sender.1024: . 1:1(0) ack 1025 win 65535\n")
+        assert check_stretch_ack_gap(trace, flow) == []
+
+
+class TestRetransmissionOfUnseen:
+    def test_fires_when_original_missing(self):
+        trace, flow = sender_trace(
+            "0.071000 sender.1024 > receiver.9000: . 1:513(512) ack 1 win 65535\n"
+            "0.072000 sender.1024 > receiver.9000: . 513:1025(512) ack 1 win 65535\n"
+            "1.000000 sender.1024 > receiver.9000: . 257:769(512) ack 1 win 65535\n")
+        evidence = check_retransmission_of_unseen(trace, flow)
+        assert len(evidence) == 1
+
+    def test_quiet_for_normal_retransmission(self):
+        trace, flow = sender_trace(
+            "0.071000 sender.1024 > receiver.9000: . 1:513(512) ack 1 win 65535\n"
+            "0.072000 sender.1024 > receiver.9000: . 513:1025(512) ack 1 win 65535\n"
+            "1.000000 sender.1024 > receiver.9000: . 1:513(512) ack 1 win 65535\n")
+        assert check_retransmission_of_unseen(trace, flow) == []
+
+
+class TestVantageGating:
+    def test_sender_checks_only_at_sender(self):
+        # A receiver-side trace with a data gap: a NETWORK drop, not a
+        # filter drop — the gap check must not run there.
+        trace, flow = receiver_trace(
+            "0.071000 sender.1024 > receiver.9000: . 1:513(512) ack 1 win 65535\n"
+            "0.072000 sender.1024 > receiver.9000: . 1025:1537(512) ack 1 win 65535\n"
+            "0.073000 receiver.9000 > sender.1024: . 1:1(0) ack 513 win 65535\n")
+        evidence = run_drop_checks(trace, get_behavior("reno"),
+                                   vantage="receiver")
+        assert all(e.check != "sequence_gap" for e in evidence)
+
+    def test_explicit_vantage_overrides_metadata(self):
+        trace, flow = sender_trace(
+            "0.071000 sender.1024 > receiver.9000: . 1:513(512) ack 1 win 65535\n"
+            "0.072000 sender.1024 > receiver.9000: . 1025:1537(512) ack 1 win 65535\n")
+        as_sender = run_drop_checks(trace, vantage="sender")
+        as_receiver = run_drop_checks(trace, vantage="receiver")
+        assert any(e.check == "sequence_gap" for e in as_sender)
+        assert all(e.check != "sequence_gap" for e in as_receiver)

@@ -1,0 +1,100 @@
+"""Implementation identification (§5, §6.1)."""
+
+import pytest
+
+from repro.core.fit import fit_candidate, identify_implementation
+from repro.tcp.catalog import CATALOG, get_behavior
+
+from tests.conftest import cached_transfer
+
+
+class TestFitCategories:
+    def test_self_fit_is_close(self):
+        trace = cached_transfer("reno", "wan-lossy", seed=3).sender_trace
+        fit = fit_candidate(trace, get_behavior("reno"), "reno")
+        assert fit.category == "close"
+        assert fit.violations == 0
+
+    def test_wrong_lineage_is_incorrect(self):
+        trace = cached_transfer("linux-1.0", "wan-lossy", seed=2).sender_trace
+        fit = fit_candidate(trace, get_behavior("reno"), "reno")
+        assert fit.category == "incorrect"
+
+    def test_unusable_trace(self):
+        from repro.trace.record import Trace
+        fit = fit_candidate(Trace(), get_behavior("reno"), "reno")
+        assert fit.category == "unusable"
+        assert fit.analysis is None
+
+
+class TestIdentification:
+    def test_linux_identified_uniquely(self):
+        trace = cached_transfer("linux-1.0", "wan-lossy", seed=2).sender_trace
+        report = identify_implementation(trace)
+        close = {fit.implementation for fit in report.close}
+        assert close <= {"linux-1.0"}
+        assert "linux-1.0" in close
+
+    def test_solaris_narrowed_to_family(self):
+        """2.3 and 2.4 differ only in receiver acking (§8.6): sender
+        analysis cannot separate them, and should not pretend to."""
+        trace = cached_transfer("solaris-2.4", "transatlantic").sender_trace
+        report = identify_implementation(trace)
+        close = {fit.implementation for fit in report.close}
+        assert close == {"solaris-2.3", "solaris-2.4"}
+
+    def test_reno_family_on_clean_trace(self):
+        """Clean traces cannot distinguish Reno variants — everything
+        Reno-like fits closely; independent stacks may coincide too.
+        The key assertion: the true implementation is IN the close set
+        and truly different stacks are excludable under provocation."""
+        trace = cached_transfer("reno", "wan").sender_trace
+        report = identify_implementation(trace)
+        close = {fit.implementation for fit in report.close}
+        assert "reno" in close
+
+    def test_lossy_trace_excludes_other_lineages(self):
+        trace = cached_transfer("reno", "wan-lossy", seed=3).sender_trace
+        report = identify_implementation(trace)
+        close = {fit.implementation for fit in report.close}
+        assert "reno" in close
+        assert "linux-1.0" not in close
+        assert "tahoe" not in close
+        assert "sunos-4.1.3" not in close
+
+    def test_best_fit_ranked_first(self):
+        trace = cached_transfer("linux-1.0", "wan-lossy", seed=2).sender_trace
+        report = identify_implementation(trace)
+        assert report.best.implementation == "linux-1.0"
+
+    def test_summary_lists_all_candidates(self):
+        trace = cached_transfer("reno").sender_trace
+        report = identify_implementation(trace)
+        text = report.summary()
+        assert len(text.splitlines()) == len(CATALOG)
+
+    def test_restricted_candidate_set(self):
+        trace = cached_transfer("reno", "wan-lossy", seed=3).sender_trace
+        candidates = {label: get_behavior(label)
+                      for label in ("reno", "tahoe")}
+        report = identify_implementation(trace, candidates)
+        assert len(report.fits) == 2
+
+
+class TestIdentificationMatrix:
+    """Distinguishable implementations never cross-match under loss."""
+
+    @pytest.mark.parametrize("truth,wrong", [
+        ("linux-1.0", "reno"),
+        ("reno", "linux-1.0"),
+        ("tahoe", "reno"),
+        ("reno", "tahoe"),
+        ("trumpet-2.0b", "reno"),
+    ])
+    def test_wrong_candidate_rejected(self, truth, wrong):
+        trace = cached_transfer(truth, "wan-lossy", seed=3).sender_trace
+        truth_fit = fit_candidate(trace, get_behavior(truth), truth)
+        wrong_fit = fit_candidate(trace, get_behavior(wrong), wrong)
+        assert truth_fit.category == "close"
+        assert wrong_fit.category != "close"
+        assert truth_fit.score < wrong_fit.score

@@ -1,0 +1,79 @@
+"""Hidden-parameter inference (§6.2): initial ssthresh from traces."""
+
+import pytest
+
+from repro.core.sender.inference import (
+    first_retransmission_round,
+    flight_rounds,
+    infer_initial_ssthresh,
+)
+from repro.tcp.catalog import get_behavior
+
+from tests.conftest import cached_transfer
+
+
+class TestFlightRounds:
+    def test_slow_start_rounds_grow(self):
+        rounds = flight_rounds(cached_transfer("reno",
+                                               data_size=102400).sender_trace)
+        assert len(rounds) >= 5
+        # Multiplicative growth early on.
+        assert rounds[3] >= 1.3 * rounds[1]
+
+    def test_rounds_positive(self):
+        rounds = flight_rounds(cached_transfer("reno").sender_trace)
+        assert all(r > 0 for r in rounds)
+
+    def test_loss_round_located(self):
+        trace = cached_transfer("reno", "wan-lossy", seed=3).sender_trace
+        loss_round = first_retransmission_round(trace)
+        assert loss_round is not None
+        assert loss_round >= 1
+
+    def test_no_loss_round_on_clean_trace(self):
+        trace = cached_transfer("reno").sender_trace
+        assert first_retransmission_round(trace) is None
+
+
+class TestInitialSsthreshInference:
+    def test_route_cache_init_detected(self):
+        """The §6.2 experimental TCP: ssthresh from the route cache."""
+        trace = cached_transfer("experimental-rc", "wan",
+                                data_size=102400).sender_trace
+        estimate = infer_initial_ssthresh(trace)
+        assert estimate is not None
+        assert estimate.non_default
+        # True value: 8 segments = 4096 bytes; the trace-visible
+        # transition lands within a couple of segments of it.
+        assert 4096 - 1024 <= estimate.transition_flight <= 4096 + 1024
+
+    def test_default_init_yields_none(self):
+        trace = cached_transfer("reno", "wan", data_size=102400).sender_trace
+        assert infer_initial_ssthresh(trace) is None
+
+    def test_loss_transition_not_misattributed(self):
+        """A post-loss transition reflects the cut, not the init."""
+        trace = cached_transfer("reno", "wan-lossy", seed=1,
+                                data_size=102400).sender_trace
+        estimate = infer_initial_ssthresh(trace)
+        if estimate is not None:
+            assert not estimate.non_default
+
+    def test_solaris_conservative_init_detected(self):
+        """§8.6: Solaris initializes ssthresh to one MSS."""
+        trace = cached_transfer("solaris-2.4", "wan",
+                                data_size=102400).sender_trace
+        estimate = infer_initial_ssthresh(trace)
+        assert estimate is not None
+        assert estimate.non_default
+        assert estimate.transition_flight <= 3 * 512
+
+    def test_short_trace_returns_none(self):
+        trace = cached_transfer("reno", "wan", data_size=4096).sender_trace
+        assert infer_initial_ssthresh(trace) is None
+
+    def test_high_rtt_path_still_works(self):
+        trace = cached_transfer("experimental-rc", "transatlantic",
+                                data_size=102400).sender_trace
+        estimate = infer_initial_ssthresh(trace)
+        assert estimate is not None and estimate.non_default

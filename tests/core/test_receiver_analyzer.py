@@ -1,0 +1,157 @@
+"""Receiver analysis: obligations, ack classes, corruption (§7, §9)."""
+
+import pytest
+
+from repro.core.receiver.analyzer import analyze_receiver
+from repro.core.receiver.obligations import AckObligation, ObligationTracker
+from repro.tcp.catalog import get_behavior
+
+from tests.conftest import cached_transfer
+
+
+class TestObligationTracker:
+    def test_discharge_clears_pending(self):
+        tracker = ObligationTracker()
+        tracker.incur(AckObligation(1.0, False, "in_sequence", 512))
+        discharged = tracker.discharge(1.1)
+        assert len(discharged) == 1
+        assert not tracker.pending
+
+    def test_oldest_pending_time(self):
+        tracker = ObligationTracker()
+        tracker.incur(AckObligation(1.0, False, "in_sequence", 512))
+        tracker.incur(AckObligation(2.0, True, "out_of_sequence", 512))
+        assert tracker.oldest_pending_time() == 1.0
+
+    def test_expire_moves_stale_optional(self):
+        tracker = ObligationTracker()
+        tracker.incur(AckObligation(0.0, False, "in_sequence", 512))
+        tracker.expire(1.0, mandatory_deadline=0.05)
+        assert tracker.missed and not tracker.pending
+
+    def test_expire_mandatory_uses_short_deadline(self):
+        tracker = ObligationTracker()
+        tracker.incur(AckObligation(0.0, True, "out_of_sequence", 512))
+        tracker.expire(0.1, mandatory_deadline=0.05)
+        assert tracker.missed
+
+    def test_fresh_obligations_not_expired(self):
+        tracker = ObligationTracker()
+        tracker.incur(AckObligation(0.0, False, "in_sequence", 512))
+        tracker.expire(0.1, mandatory_deadline=0.05)
+        assert tracker.pending and not tracker.missed
+
+
+class TestAckClassification:
+    def test_bsd_mostly_normal_acks(self):
+        analysis = analyze_receiver(cached_transfer("reno").receiver_trace,
+                                    get_behavior("reno"))
+        counts = analysis.counts_by_kind()
+        assert counts.get("normal", 0) > counts.get("delayed", 0)
+        assert counts.get("stretch", 0) == 0
+
+    def test_linux_all_delayed_by_definition(self):
+        """§9.1: Linux 1.0 acks every packet, so by tcpanaly's
+        definition all of its acks are delayed acks."""
+        analysis = analyze_receiver(
+            cached_transfer("linux-1.0").receiver_trace,
+            get_behavior("linux-1.0"))
+        counts = analysis.counts_by_kind()
+        assert counts.get("normal", 0) == 0
+        assert counts.get("delayed", 0) > 90
+
+    def test_linux_acks_within_a_millisecond(self):
+        analysis = analyze_receiver(
+            cached_transfer("linux-1.0").receiver_trace,
+            get_behavior("linux-1.0"))
+        delays = analysis.delays_for("delayed")
+        assert max(delays) < 0.002
+
+    def test_bsd_delayed_acks_bounded_by_heartbeat(self):
+        analysis = analyze_receiver(cached_transfer("reno").receiver_trace,
+                                    get_behavior("reno"))
+        delays = analysis.delays_for("delayed")
+        assert all(d <= 0.210 for d in delays)
+
+    def test_solaris_delayed_acks_at_50ms(self):
+        analysis = analyze_receiver(
+            cached_transfer("solaris-2.4").receiver_trace,
+            get_behavior("solaris-2.4"))
+        delays = analysis.delays_for("delayed")
+        assert delays and all(0.045 <= d <= 0.060 for d in delays)
+
+    def test_solaris_slow_link_every_ack_delayed(self):
+        """§9.1: below ~20 KB/s a 50 ms timer acks every packet."""
+        analysis = analyze_receiver(
+            cached_transfer("solaris-2.4", "modem-56k",
+                            data_size=20480).receiver_trace,
+            get_behavior("solaris-2.4"))
+        counts = analysis.counts_by_kind()
+        assert counts.get("delayed", 0) > 0.9 * (
+            counts.get("delayed", 0) + counts.get("normal", 0))
+
+    def test_no_gratuitous_acks_on_clean_traces(self):
+        for implementation in ("reno", "linux-1.0", "solaris-2.4"):
+            analysis = analyze_receiver(
+                cached_transfer(implementation).receiver_trace,
+                get_behavior(implementation))
+            assert analysis.gratuitous == []
+
+    def test_no_500ms_violations_for_compliant_stacks(self):
+        analysis = analyze_receiver(cached_transfer("reno").receiver_trace,
+                                    get_behavior("reno"))
+        assert analysis.delay_ceiling_violations == []
+
+    def test_dup_acks_classified_on_loss(self):
+        analysis = analyze_receiver(
+            cached_transfer("reno", "wan-lossy", seed=3).receiver_trace,
+            get_behavior("reno"))
+        assert analysis.counts_by_kind().get("dup", 0) >= 2
+
+
+class TestCorruption:
+    def test_verified_corruption_with_full_packets(self):
+        transfer = cached_transfer("reno", "lossy-corrupting", seed=1)
+        truth = sum(1 for r in transfer.receiver_trace if r.corrupted)
+        analysis = analyze_receiver(transfer.receiver_trace,
+                                    get_behavior("reno"))
+        assert len(analysis.verified_corrupt) == truth > 0
+
+    def test_inferred_corruption_headers_only(self):
+        """§7: with only headers, infer discards from unacknowledged
+        arrivals that get retransmitted."""
+        transfer = cached_transfer("reno", "lossy-corrupting", seed=1)
+        truth = {r.packet_id for r in transfer.receiver_trace if r.corrupted}
+        analysis = analyze_receiver(transfer.receiver_trace,
+                                    get_behavior("reno"), headers_only=True)
+        inferred = {r.packet_id for r in analysis.inferred_corrupt}
+        # every true corruption found, no false positives
+        assert inferred == truth
+
+    def test_inference_across_catalog(self):
+        for implementation in ("reno", "solaris-2.4", "sunos-4.1.3"):
+            transfer = cached_transfer(implementation, "lossy-corrupting",
+                                       seed=2)
+            truth = {r.packet_id for r in transfer.receiver_trace
+                     if r.corrupted}
+            analysis = analyze_receiver(transfer.receiver_trace,
+                                        get_behavior(implementation),
+                                        headers_only=True)
+            inferred = {r.packet_id for r in analysis.inferred_corrupt}
+            assert truth <= inferred  # no corrupted arrival escapes
+            extras = inferred - truth
+            assert len(extras) <= max(2, len(truth))
+
+    def test_clean_trace_no_corruption(self):
+        analysis = analyze_receiver(cached_transfer("reno").receiver_trace,
+                                    get_behavior("reno"), headers_only=True)
+        assert analysis.inferred_corrupt == []
+
+
+class TestErrors:
+    def test_missing_syn_raises(self):
+        from repro.trace.record import Trace
+        trace = cached_transfer("reno").receiver_trace
+        headless = Trace(records=[r for r in trace if not r.is_syn])
+        with pytest.raises(ValueError):
+            analyze_receiver(headless, get_behavior("reno"))

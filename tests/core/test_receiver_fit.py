@@ -1,0 +1,84 @@
+"""Receiver-policy identification and active probing."""
+
+import pytest
+
+from repro.core.fit import identify_receiver, score_receiver_policy
+from repro.core.receiver.analyzer import analyze_receiver
+from repro.harness.probing import Arrival, drive_receiver, probe_hole_fill
+from repro.packets import SYN
+from repro.tcp.catalog import get_behavior
+
+from tests.conftest import cached_transfer
+
+
+def close_set(trace, candidates=None):
+    fits = identify_receiver(
+        trace, candidates and {label: get_behavior(label)
+                               for label in candidates})
+    return {f.implementation for f in fits if f.category == "close"}
+
+
+class TestPassiveIdentification:
+    def test_heartbeat_family_on_bsd_trace(self):
+        close = close_set(cached_transfer("reno").receiver_trace)
+        assert "reno" in close
+        assert "linux-1.0" not in close
+        assert "solaris-2.4" not in close
+
+    def test_every_packet_family_on_linux_trace(self):
+        close = close_set(cached_transfer("linux-1.0").receiver_trace)
+        assert "linux-1.0" in close
+        assert close <= {"linux-1.0", "linux-2.0.30", "trumpet-2.0b"}
+
+    def test_interval_family_on_slow_link_solaris_trace(self):
+        transfer = cached_transfer("solaris-2.4", "modem-56k",
+                                   data_size=20480)
+        close = close_set(transfer.receiver_trace)
+        assert close <= {"solaris-2.3", "solaris-2.4"}
+        assert "solaris-2.4" in close
+
+    def test_stretch_offender_unique(self):
+        close = close_set(cached_transfer("osf1-1.3a").receiver_trace)
+        assert close == {"osf1-1.3a"}
+
+    def test_scoring_explains_rejections(self):
+        trace = cached_transfer("linux-1.0").receiver_trace
+        analysis = analyze_receiver(trace, get_behavior("reno"), "reno")
+        fit = score_receiver_policy(analysis, get_behavior("reno"))
+        assert fit.category != "close"
+        assert fit.inconsistencies
+
+
+class TestActiveProbing:
+    def test_driver_produces_connection_trace(self):
+        trace = probe_hole_fill(get_behavior("reno"))
+        assert any(r.is_syn for r in trace)
+        assert len(trace.acks()) >= 3
+
+    def test_probe_splits_solaris_23_from_24(self):
+        """The §2 combination: a stimulus passive traces lack."""
+        for truth in ("solaris-2.3", "solaris-2.4"):
+            trace = probe_hole_fill(get_behavior(truth))
+            fits = identify_receiver(
+                trace, {label: get_behavior(label)
+                        for label in ("solaris-2.3", "solaris-2.4")})
+            ranking = {f.implementation: f.category for f in fits}
+            assert ranking[truth] == "close"
+            other = ("solaris-2.4" if truth == "solaris-2.3"
+                     else "solaris-2.3")
+            assert ranking[other] != "close"
+
+    def test_custom_script(self):
+        trace = drive_receiver(get_behavior("linux-1.0"), [
+            Arrival(0.0, seq=0, flags=SYN, mss_option=512),
+            Arrival(0.1, seq=1, payload=512),
+            Arrival(0.2, seq=513, payload=512),
+        ])
+        # every-packet acker: one ack per data arrival (plus handshake)
+        data_acks = [r for r in trace.acks() if r.ack > 1]
+        assert len(data_acks) == 2
+
+    def test_probe_trace_vantage_is_receiver(self):
+        from repro.core.vantage import infer_vantage
+        trace = probe_hole_fill(get_behavior("reno"))
+        assert infer_vantage(trace) == "receiver"

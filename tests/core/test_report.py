@@ -1,0 +1,60 @@
+"""The combined tcpanaly report."""
+
+from repro.core.report import analyze_trace
+from repro.tcp.catalog import get_behavior
+
+from tests.conftest import cached_transfer
+
+
+class TestAnalyzeTrace:
+    def test_sender_report_includes_sender_analysis(self):
+        report = analyze_trace(cached_transfer("reno").sender_trace,
+                               get_behavior("reno"))
+        assert report.vantage == "sender"
+        assert report.sender is not None
+        assert report.receiver is None
+
+    def test_receiver_report_includes_receiver_analysis(self):
+        report = analyze_trace(cached_transfer("reno").receiver_trace,
+                               get_behavior("reno"))
+        assert report.vantage == "receiver"
+        assert report.receiver is not None
+        assert report.sender is None
+
+    def test_identification_optional(self):
+        report = analyze_trace(cached_transfer("reno").sender_trace,
+                               get_behavior("reno"), identify=True)
+        assert report.identification is not None
+
+    def test_pair_analysis_included(self):
+        transfer = cached_transfer("reno")
+        report = analyze_trace(transfer.sender_trace, get_behavior("reno"),
+                               peer_trace=transfer.receiver_trace)
+        assert report.calibration.pair_analysis is not None
+
+    def test_render_sections(self):
+        transfer = cached_transfer("reno")
+        report = analyze_trace(transfer.sender_trace, get_behavior("reno"),
+                               identify=True)
+        text = report.render()
+        assert "measurement calibration" in text
+        assert "sender behavior" in text
+        assert "implementation identification" in text
+
+    def test_render_notes_resequencing(self):
+        from repro.capture.errors import ResequencingInjector
+        from repro.capture.filter import PacketFilter
+        from repro.harness.scenarios import traced_transfer
+        packet_filter = PacketFilter(
+            vantage="sender", resequencing=ResequencingInjector(seed=1))
+        transfer = traced_transfer(get_behavior("solaris-2.4"), "wan",
+                                   data_size=30720,
+                                   sender_filter=packet_filter)
+        report = analyze_trace(transfer.sender_trace,
+                               get_behavior("solaris-2.4"))
+        assert "untrustworthy" in report.render()
+
+    def test_behaviorless_report_still_calibrates(self):
+        report = analyze_trace(cached_transfer("reno").sender_trace)
+        assert report.sender is None
+        assert report.calibration is not None

@@ -1,0 +1,103 @@
+"""Resequencing detectors against hand-crafted traces (§3.1.3)."""
+
+import pytest
+
+from repro.core.calibrate.resequencing import (
+    detect_ack_before_arrival,
+    detect_lull_then_ack,
+    detect_resequencing,
+)
+from repro.tcp.catalog import get_behavior
+from repro.trace.text import parse_trace
+
+PREFIX = """\
+0.000000 sender.1024 > receiver.9000: S 0:1(0) win 65535 <mss 512>
+0.070000 receiver.9000 > sender.1024: S. 0:1(0) ack 1 win 65535 <mss 512>
+0.070500 sender.1024 > receiver.9000: . 1:1(0) ack 1 win 65535
+0.071000 sender.1024 > receiver.9000: . 1:513(512) ack 1 win 65535
+"""
+
+
+def sender_trace(body):
+    trace = parse_trace(PREFIX + body, vantage="sender")
+    return trace, trace.primary_flow()
+
+
+def receiver_trace(body):
+    trace = parse_trace(PREFIX + body, vantage="receiver")
+    return trace, trace.primary_flow()
+
+
+class TestLullThenAck:
+    def test_fires_on_inverted_liberation(self):
+        # A long lull, then a data packet recorded 300 us BEFORE the
+        # ack that liberated it.
+        trace, flow = sender_trace(
+            "0.150000 receiver.9000 > sender.1024: . 1:1(0) ack 513 win 65535\n"
+            "0.150300 sender.1024 > receiver.9000: . 513:1025(512) ack 1 win 65535\n"
+            "1.500000 sender.1024 > receiver.9000: . 1025:1537(512) ack 1 win 65535\n"
+            "1.500400 receiver.9000 > sender.1024: . 1:1(0) ack 1025 win 65535\n")
+        events = detect_lull_then_ack(trace, flow)
+        assert len(events) == 1
+        assert events[0].situation == "lull_then_ack"
+
+    def test_quiet_when_ack_precedes_send(self):
+        trace, flow = sender_trace(
+            "0.150000 receiver.9000 > sender.1024: . 1:1(0) ack 513 win 65535\n"
+            "0.150300 sender.1024 > receiver.9000: . 513:1025(512) ack 1 win 65535\n"
+            "1.500000 receiver.9000 > sender.1024: . 1:1(0) ack 1025 win 65535\n"
+            "1.500300 sender.1024 > receiver.9000: . 1025:1537(512) ack 1 win 65535\n")
+        assert detect_lull_then_ack(trace, flow) == []
+
+    def test_quiet_when_ack_is_far_after(self):
+        # A timeout retransmission followed much later by an ack is
+        # ordinary recovery, not resequencing.
+        trace, flow = sender_trace(
+            "0.150000 receiver.9000 > sender.1024: . 1:1(0) ack 513 win 65535\n"
+            "0.150300 sender.1024 > receiver.9000: . 513:1025(512) ack 1 win 65535\n"
+            "1.500000 sender.1024 > receiver.9000: . 513:1025(512) ack 1 win 65535\n"
+            "1.580000 receiver.9000 > sender.1024: . 1:1(0) ack 1025 win 65535\n")
+        assert detect_lull_then_ack(trace, flow) == []
+
+
+class TestAckBeforeArrival:
+    def test_fires_when_ack_precedes_its_arrival(self):
+        trace, flow = receiver_trace(
+            "0.072000 receiver.9000 > sender.1024: . 1:1(0) ack 1025 win 65535\n"
+            "0.072500 sender.1024 > receiver.9000: . 513:1025(512) ack 1 win 65535\n")
+        events = detect_ack_before_arrival(trace, flow)
+        assert len(events) == 1
+        assert events[0].situation == "ack_before_arrival"
+
+    def test_quiet_in_normal_order(self):
+        trace, flow = receiver_trace(
+            "0.072000 sender.1024 > receiver.9000: . 513:1025(512) ack 1 win 65535\n"
+            "0.072500 receiver.9000 > sender.1024: . 1:1(0) ack 1025 win 65535\n")
+        assert detect_ack_before_arrival(trace, flow) == []
+
+    def test_quiet_when_arrival_never_comes(self):
+        # An ack for unseen data with NO arrival shortly after is a
+        # filter drop (check 7's territory), not resequencing.
+        trace, flow = receiver_trace(
+            "0.072000 receiver.9000 > sender.1024: . 1:1(0) ack 1025 win 65535\n"
+            "0.500000 sender.1024 > receiver.9000: . 1025:1537(512) ack 1 win 65535\n")
+        assert detect_ack_before_arrival(trace, flow) == []
+
+
+class TestVantageDispatch:
+    def test_sender_vantage_runs_lull_detector(self):
+        trace, _ = sender_trace(
+            "0.150000 receiver.9000 > sender.1024: . 1:1(0) ack 513 win 65535\n"
+            "0.150300 sender.1024 > receiver.9000: . 513:1025(512) ack 1 win 65535\n"
+            "1.500000 sender.1024 > receiver.9000: . 1025:1537(512) ack 1 win 65535\n"
+            "1.500400 receiver.9000 > sender.1024: . 1:1(0) ack 1025 win 65535\n")
+        events = detect_resequencing(trace, get_behavior("reno"),
+                                     vantage="sender")
+        assert any(e.situation == "lull_then_ack" for e in events)
+
+    def test_receiver_vantage_runs_arrival_detector(self):
+        trace, _ = receiver_trace(
+            "0.072000 receiver.9000 > sender.1024: . 1:1(0) ack 1025 win 65535\n"
+            "0.072500 sender.1024 > receiver.9000: . 513:1025(512) ack 1 win 65535\n")
+        events = detect_resequencing(trace, vantage="receiver")
+        assert any(e.situation == "ack_before_arrival" for e in events)

@@ -1,0 +1,110 @@
+"""Timing-analysis internals: pairing, envelopes, line fits (§3.1.4)."""
+
+import pytest
+
+from repro.core.calibrate.timing import (
+    _fit_line,
+    _fit_residuals,
+    _segment_minima,
+    analyze_trace_pair,
+    pair_records,
+)
+from repro.packets import ACK, Endpoint
+from repro.trace.record import Trace, TraceRecord
+
+from tests.conftest import cached_transfer
+
+A = Endpoint("a", 1)
+B = Endpoint("b", 2)
+
+
+def record(t, seq, payload=512, src=A, dst=B):
+    return TraceRecord(timestamp=t, src=src, dst=dst, seq=seq, ack=0,
+                       flags=ACK, payload=payload, window=65535)
+
+
+class TestPairRecords:
+    def test_matches_by_header_identity(self):
+        trace_a = Trace(records=[record(0.0, 100), record(1.0, 612)])
+        trace_b = Trace(records=[record(0.1, 100), record(1.1, 612)])
+        pairs = pair_records(trace_a, trace_b)
+        assert len(pairs) == 2
+        assert pairs[0][0].seq == pairs[0][1].seq == 100
+
+    def test_retransmissions_match_nth_occurrence(self):
+        trace_a = Trace(records=[record(0.0, 100), record(1.0, 100)])
+        trace_b = Trace(records=[record(0.1, 100), record(1.1, 100)])
+        pairs = pair_records(trace_a, trace_b)
+        assert len(pairs) == 2
+        # first matches first, second matches second
+        assert pairs[0][1].timestamp == 0.1
+        assert pairs[1][1].timestamp == 1.1
+
+    def test_unmatched_records_skipped(self):
+        trace_a = Trace(records=[record(0.0, 100), record(1.0, 612)])
+        trace_b = Trace(records=[record(0.1, 100)])
+        pairs = pair_records(trace_a, trace_b)
+        assert len(pairs) == 1
+
+    def test_real_traces_pair_fully_without_loss(self):
+        transfer = cached_transfer("reno")
+        pairs = pair_records(transfer.sender_trace, transfer.receiver_trace)
+        assert len(pairs) == len(transfer.sender_trace)
+
+
+class TestSegmentMinima:
+    def test_minimum_per_bucket(self):
+        samples = [(0.0, 5.0), (0.4, 3.0), (0.6, 9.0), (0.9, 7.0)]
+        buckets = _segment_minima(samples, 2, 0.0, 1.0)
+        assert buckets[0][1] == 3.0
+        assert buckets[1][1] == 7.0
+
+    def test_empty_buckets_absent(self):
+        samples = [(0.0, 1.0), (0.05, 2.0)]
+        buckets = _segment_minima(samples, 10, 0.0, 1.0)
+        assert set(buckets) == {0}
+
+    def test_out_of_range_samples_clamped(self):
+        samples = [(-0.5, 1.0), (1.5, 2.0)]
+        buckets = _segment_minima(samples, 4, 0.0, 1.0)
+        assert set(buckets) == {0, 3}
+
+
+class TestFits:
+    def test_fit_line_exact(self):
+        points = [(0.0, 1.0), (1.0, 3.0), (2.0, 5.0)]
+        slope, intercept = _fit_line(points)
+        assert slope == pytest.approx(2.0)
+        assert intercept == pytest.approx(1.0)
+
+    def test_fit_line_degenerate(self):
+        slope, intercept = _fit_line([(1.0, 7.0), (1.0, 9.0)])
+        assert slope == 0.0
+        assert intercept == pytest.approx(8.0)
+
+    def test_residuals_zero_on_perfect_line(self):
+        points = [(float(k), 2.0 * k) for k in range(5)]
+        slope, rms = _fit_residuals(points)
+        assert slope == pytest.approx(2.0)
+        assert rms == pytest.approx(0.0, abs=1e-12)
+
+    def test_residuals_capture_noise(self):
+        points = [(0.0, 0.0), (1.0, 1.0), (2.0, 0.0), (3.0, 1.0)]
+        _, rms = _fit_residuals(points)
+        assert rms > 0.1
+
+
+class TestPairAnalysisEdges:
+    def test_too_few_samples_neutral(self):
+        trace_a = Trace(records=[record(0.0, 100)])
+        trace_b = Trace(records=[record(0.1, 100)])
+        analysis = analyze_trace_pair(trace_a, trace_b)
+        assert not analysis.skew_detected
+        assert analysis.adjustments == []
+
+    def test_unmatched_counts_reported(self):
+        transfer = cached_transfer("reno", "wan-lossy", seed=3)
+        analysis = analyze_trace_pair(transfer.sender_trace,
+                                      transfer.receiver_trace)
+        # network drops leave sender-side records unmatched
+        assert analysis.unmatched_a > 0

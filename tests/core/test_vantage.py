@@ -1,0 +1,38 @@
+"""Vantage-point inference."""
+
+from repro.core.vantage import infer_vantage
+from repro.trace.record import Trace
+
+from tests.conftest import cached_transfer
+
+
+class TestMetadataPath:
+    def test_uses_declared_vantage(self):
+        trace = cached_transfer("reno").sender_trace
+        assert infer_vantage(trace) == "sender"
+        assert infer_vantage(cached_transfer("reno").receiver_trace) \
+            == "receiver"
+
+
+class TestInferencePath:
+    def strip(self, trace):
+        return Trace(records=trace.records, vantage="", filter_name="")
+
+    def test_sender_vantage_inferred_from_timing(self):
+        trace = self.strip(cached_transfer("reno").sender_trace)
+        assert infer_vantage(trace) == "sender"
+
+    def test_receiver_vantage_inferred_from_timing(self):
+        trace = self.strip(cached_transfer("reno").receiver_trace)
+        assert infer_vantage(trace) == "receiver"
+
+    def test_inference_across_implementations(self):
+        for implementation in ("linux-1.0", "solaris-2.4", "tahoe"):
+            transfer = cached_transfer(implementation)
+            assert infer_vantage(self.strip(transfer.sender_trace)) \
+                == "sender"
+            assert infer_vantage(self.strip(transfer.receiver_trace)) \
+                == "receiver"
+
+    def test_empty_trace_defaults_to_sender(self):
+        assert infer_vantage(Trace()) == "sender"

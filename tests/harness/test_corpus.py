@@ -1,0 +1,47 @@
+"""Corpus generation (the Table 1 stand-in)."""
+
+from repro.harness.corpus import corpus_summary, generate_corpus
+
+
+class TestGeneration:
+    def test_counts_per_implementation(self):
+        entries = list(generate_corpus(["reno", "tahoe"],
+                                       traces_per_implementation=3,
+                                       data_size=10240))
+        assert len(entries) == 6
+        assert sum(e.implementation == "reno" for e in entries) == 3
+
+    def test_scenarios_rotate(self):
+        entries = list(generate_corpus(["reno"],
+                                       traces_per_implementation=3,
+                                       scenarios=("lan", "wan"),
+                                       data_size=10240))
+        names = [e.transfer.scenario.name for e in entries]
+        assert names == ["lan", "wan", "lan"]
+
+    def test_traces_accessible(self):
+        entry = next(iter(generate_corpus(["reno"],
+                                          traces_per_implementation=1,
+                                          data_size=10240)))
+        assert len(entry.sender_trace) > 0
+        assert len(entry.receiver_trace) > 0
+
+    def test_default_implementations_are_core_study(self):
+        from repro.tcp.catalog import CORE_STUDY
+        entries = generate_corpus(traces_per_implementation=1,
+                                  scenarios=("lan",), data_size=2048)
+        labels = {e.implementation for e in entries}
+        assert labels == set(CORE_STUDY)
+
+
+class TestSummary:
+    def test_summary_rows(self):
+        entries = list(generate_corpus(["reno", "linux-1.0"],
+                                       traces_per_implementation=2,
+                                       scenarios=("wan-lossy",),
+                                       data_size=20480))
+        summary = corpus_summary(entries)
+        assert summary["reno"]["traces"] == 2
+        assert summary["reno"]["completed"] == 2
+        assert summary["linux-1.0"]["retransmissions"] \
+            > summary["reno"]["retransmissions"]

@@ -1,0 +1,68 @@
+"""Scenarios and the traced-transfer helper."""
+
+import pytest
+
+from repro.harness.scenarios import SCENARIOS, traced_transfer
+from repro.tcp.catalog import get_behavior
+from repro.units import kbit
+
+from tests.conftest import cached_transfer
+
+
+class TestScenarios:
+    def test_paper_scenarios_present(self):
+        for name in ("wan", "transatlantic", "satellite", "modem-56k",
+                     "lan", "wan-lossy"):
+            assert name in SCENARIOS
+
+    def test_transatlantic_matches_figure5(self):
+        scenario = SCENARIOS["transatlantic"]
+        assert scenario.rtt == pytest.approx(0.68, abs=0.01)
+
+    def test_satellite_matches_worst_case(self):
+        assert SCENARIOS["satellite"].rtt == pytest.approx(2.6, abs=0.01)
+
+    def test_modem_bandwidths(self):
+        assert SCENARIOS["modem-56k"].bottleneck_bandwidth == kbit(56)
+        assert SCENARIOS["modem-64k"].bottleneck_bandwidth == kbit(64)
+
+    def test_loss_model_only_when_rates_set(self):
+        assert SCENARIOS["wan"].forward_loss() is None
+        assert SCENARIOS["wan-lossy"].forward_loss() is not None
+
+    def test_corrupting_scenario(self):
+        scenario = SCENARIOS["lossy-corrupting"]
+        assert scenario.corrupt_rate > 0
+
+
+class TestTracedTransfer:
+    def test_accepts_scenario_by_name_or_object(self):
+        by_name = traced_transfer(get_behavior("reno"), "lan",
+                                  data_size=5120)
+        by_object = traced_transfer(get_behavior("reno"), SCENARIOS["lan"],
+                                    data_size=5120)
+        assert by_name.result.completed and by_object.result.completed
+
+    def test_deterministic_given_seed(self):
+        a = traced_transfer(get_behavior("reno"), "wan-lossy",
+                            data_size=10240, seed=5)
+        b = traced_transfer(get_behavior("reno"), "wan-lossy",
+                            data_size=10240, seed=5)
+        assert len(a.sender_trace) == len(b.sender_trace)
+        for ra, rb in zip(a.sender_trace, b.sender_trace):
+            assert ra.timestamp == rb.timestamp
+            assert ra.seq == rb.seq
+
+    def test_seeds_vary_loss_pattern(self):
+        a = traced_transfer(get_behavior("reno"), "wan-lossy",
+                            data_size=20480, seed=1)
+        b = traced_transfer(get_behavior("reno"), "wan-lossy",
+                            data_size=20480, seed=2)
+        assert [r.seq for r in a.sender_trace] != \
+            [r.seq for r in b.sender_trace]
+
+    def test_traces_attached_to_result(self):
+        transfer = cached_transfer("reno")
+        assert len(transfer.sender_trace) > 0
+        assert len(transfer.receiver_trace) > 0
+        assert transfer.scenario.name == "wan"

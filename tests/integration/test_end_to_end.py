@@ -1,0 +1,166 @@
+"""End-to-end pipelines: simulate → capture → (pcap) → analyze.
+
+These tests exercise the full stack the way a user of the library
+would, including the failure-injection paths that motivate the whole
+§3 calibration apparatus.
+"""
+
+import pytest
+
+from repro.capture.clock import SteppingClock
+from repro.capture.errors import (
+    DropInjector,
+    DuplicationInjector,
+    ResequencingInjector,
+)
+from repro.capture.filter import PacketFilter
+from repro.core import (
+    analyze_receiver,
+    analyze_sender,
+    calibrate_trace,
+    identify_implementation,
+)
+from repro.core.report import analyze_trace
+from repro.harness.scenarios import traced_transfer
+from repro.tcp.catalog import CATALOG, CORE_STUDY, get_behavior
+from repro.trace.pcap import read_pcap, write_pcap
+from repro.trace.wire import AddressMap
+from repro.units import kbyte
+
+from tests.conftest import cached_transfer
+
+
+class TestFullPipelineViaPcap:
+    """The user workflow: traces go to disk and come back."""
+
+    def test_roundtrip_then_identify(self, tmp_path):
+        transfer = cached_transfer("linux-1.0", "wan-lossy", seed=2)
+        path = tmp_path / "linux.pcap"
+        addresses = AddressMap()
+        write_pcap(transfer.sender_trace, path, addresses=addresses)
+        loaded = read_pcap(path, addresses=addresses, vantage="sender")
+        report = identify_implementation(loaded)
+        assert report.best.implementation == "linux-1.0"
+        assert report.best.category == "close"
+
+    def test_roundtrip_preserves_receiver_analysis(self, tmp_path):
+        transfer = cached_transfer("solaris-2.4")
+        path = tmp_path / "solaris.pcap"
+        addresses = AddressMap()
+        write_pcap(transfer.receiver_trace, path, addresses=addresses)
+        loaded = read_pcap(path, addresses=addresses, vantage="receiver")
+        analysis = analyze_receiver(loaded, get_behavior("solaris-2.4"))
+        assert analysis.gratuitous == []
+
+
+class TestCorpusWideConsistency:
+    """Every core-study implementation, multiple scenarios: the
+    analyzer explains its own stacks completely."""
+
+    @pytest.mark.parametrize("implementation", CORE_STUDY)
+    def test_lossy_self_analysis(self, implementation):
+        transfer = cached_transfer(implementation, "wan-lossy", seed=2)
+        analysis = analyze_sender(transfer.sender_trace,
+                                  get_behavior(implementation))
+        assert analysis.violation_count == 0, analysis.summary()
+        receiver_analysis = analyze_receiver(
+            transfer.receiver_trace, get_behavior(implementation))
+        assert receiver_analysis.gratuitous == []
+
+    @pytest.mark.parametrize("implementation", CORE_STUDY)
+    def test_high_rtt_self_analysis(self, implementation):
+        transfer = cached_transfer(implementation, "transatlantic",
+                                   data_size=20480)
+        analysis = analyze_sender(transfer.sender_trace,
+                                  get_behavior(implementation))
+        assert analysis.violation_count == 0, analysis.summary()
+
+
+class TestCombinedErrorInjection:
+    """Multiple simultaneous filter defects, as real filters had."""
+
+    def test_drops_plus_clock_steps(self):
+        packet_filter = PacketFilter(
+            vantage="sender",
+            drops=DropInjector(rate=0.03, seed=7, report_style="zero"),
+            clock=SteppingClock(rate=1.0003, steps=[(0.6, -0.05)]))
+        transfer = traced_transfer(get_behavior("reno"), "wan",
+                                   data_size=kbyte(50),
+                                   sender_filter=packet_filter)
+        report = calibrate_trace(transfer.sender_trace, get_behavior("reno"))
+        assert report.time_travel
+        assert report.drop_evidence or packet_filter.drops.true_drops == 0
+
+    def test_duplication_plus_drops(self):
+        packet_filter = PacketFilter(
+            vantage="sender",
+            duplication=DuplicationInjector(),
+            drops=DropInjector(rate=0.02, seed=3, report_style="none"))
+        transfer = traced_transfer(get_behavior("reno"), "lan",
+                                   data_size=kbyte(50),
+                                   sender_filter=packet_filter)
+        report = calibrate_trace(transfer.sender_trace, get_behavior("reno"))
+        assert report.duplicates
+
+    def test_analysis_still_works_after_cleaning(self):
+        from repro.core.calibrate.additions import remove_duplicates
+        packet_filter = PacketFilter(vantage="sender",
+                                     duplication=DuplicationInjector())
+        transfer = traced_transfer(get_behavior("reno"), "wan",
+                                   data_size=kbyte(50),
+                                   sender_filter=packet_filter)
+        cleaned = remove_duplicates(transfer.sender_trace)
+        analysis = analyze_sender(cleaned, get_behavior("reno"))
+        assert analysis.violation_count == 0
+
+
+class TestResequencedTraceHandling:
+    def test_resequencing_flagged_and_analysis_survives(self):
+        packet_filter = PacketFilter(
+            vantage="sender",
+            resequencing=ResequencingInjector(seed=2))
+        transfer = traced_transfer(get_behavior("solaris-2.4"), "wan",
+                                   data_size=kbyte(50),
+                                   sender_filter=packet_filter)
+        report = analyze_trace(transfer.sender_trace,
+                               get_behavior("solaris-2.4"))
+        assert report.calibration.resequencing
+        # The sender analysis absorbs inversions as clues, not violations.
+        assert report.sender.violation_count <= 2
+
+
+class TestMixedStacks:
+    """Sender and receiver from different vendors, as on the real
+    Internet."""
+
+    @pytest.mark.parametrize("sender,receiver", [
+        ("reno", "linux-1.0"),
+        ("linux-1.0", "solaris-2.4"),
+        ("solaris-2.4", "reno"),
+        ("net3", "trumpet-2.0b"),
+    ])
+    def test_cross_vendor_transfers_analyzed(self, sender, receiver):
+        transfer = traced_transfer(get_behavior(sender), "wan-lossy",
+                                   receiver_behavior=get_behavior(receiver),
+                                   data_size=kbyte(50), seed=1)
+        assert transfer.result.completed
+        sender_analysis = analyze_sender(transfer.sender_trace,
+                                         get_behavior(sender))
+        assert sender_analysis.violation_count == 0
+        receiver_analysis = analyze_receiver(transfer.receiver_trace,
+                                             get_behavior(receiver))
+        assert receiver_analysis.gratuitous == []
+
+
+class TestAllKnownImplementationsAgainstOneTrace:
+    def test_fit_categories_exhaustive(self):
+        trace = cached_transfer("sunos-4.1.3", "wan-lossy",
+                                seed=3).sender_trace
+        report = identify_implementation(trace)
+        assert len(report.fits) == len(CATALOG)
+        for fit in report.fits:
+            assert fit.category in ("close", "imperfect", "incorrect",
+                                    "unusable")
+        close = {fit.implementation for fit in report.close}
+        assert "sunos-4.1.3" in close
+        assert "reno" not in close   # Reno's fast recovery differs

@@ -1,0 +1,102 @@
+"""Cross-traffic sources and analysis robustness under contention."""
+
+import pytest
+
+from repro.core import analyze_sender, calibrate_trace
+from repro.capture.filter import attach_filter_pair
+from repro.netsim.crosstraffic import CrossTrafficSource
+from repro.netsim.engine import Engine
+from repro.netsim.link import Link
+from repro.netsim.network import build_path
+from repro.tcp.catalog import get_behavior
+from repro.tcp.connection import run_bulk_transfer
+from repro.units import kbyte, mbit
+
+
+class TestSource:
+    def test_rate_approximated(self):
+        engine = Engine()
+        link = Link(engine, mbit(10), 0.001, queue_limit=1000)
+        delivered = []
+        link.deliver = delivered.append
+        source = CrossTrafficSource(engine, link, rate=100_000,
+                                    packet_size=500)
+        source.start()
+        engine.run(until=1.0)
+        bytes_sent = sum(s.wire_size for s in delivered)
+        assert bytes_sent == pytest.approx(100_000, rel=0.05)
+
+    def test_on_off_modulation(self):
+        engine = Engine()
+        link = Link(engine, mbit(10), 0.001, queue_limit=1000)
+        arrivals = []
+        link.deliver = lambda s: arrivals.append(engine.now)
+        source = CrossTrafficSource(engine, link, rate=100_000,
+                                    packet_size=500,
+                                    on_time=0.1, off_time=0.1)
+        source.start()
+        engine.run(until=1.0)
+        in_off_period = [t for t in arrivals if 0.11 < (t % 0.2) < 0.19]
+        assert len(in_off_period) < len(arrivals) * 0.1
+
+    def test_stop(self):
+        engine = Engine()
+        link = Link(engine, mbit(10), 0.001)
+        link.deliver = lambda s: None
+        source = CrossTrafficSource(engine, link, rate=50_000)
+        source.start()
+        engine.run(until=0.5)
+        count = source.packets_sent
+        source.stop()
+        engine.run(until=1.0)
+        assert source.packets_sent == count
+
+    def test_parameter_validation(self):
+        engine = Engine()
+        link = Link(engine, mbit(10), 0.001)
+        with pytest.raises(ValueError):
+            CrossTrafficSource(engine, link, rate=0)
+        with pytest.raises(ValueError):
+            CrossTrafficSource(engine, link, rate=1000, packet_size=20)
+
+
+def contended_transfer(implementation: str, load_fraction: float):
+    """A transfer sharing its bottleneck with on/off cross-traffic."""
+    engine = Engine()
+    path = build_path(engine, bottleneck_bandwidth=mbit(1.0),
+                      bottleneck_delay=0.030, queue_limit=40)
+    sender_filter, receiver_filter = attach_filter_pair(path)
+    source = CrossTrafficSource(
+        engine, path.forward_bottleneck,
+        rate=mbit(1.0) * load_fraction, packet_size=512,
+        on_time=0.25, off_time=0.25)
+    source.start()
+    result = run_bulk_transfer(get_behavior(implementation),
+                               data_size=kbyte(60), path=path,
+                               max_duration=300)
+    return result, sender_filter.trace(), receiver_filter.trace()
+
+
+class TestAnalysisUnderContention:
+    """The analyzer and calibration must hold up when queueing noise
+    comes from competing flows, not just the transfer's own bursts."""
+
+    @pytest.mark.parametrize("implementation", ["reno", "solaris-2.4"])
+    def test_self_analysis_stays_clean(self, implementation):
+        result, sender_trace, _ = contended_transfer(implementation, 0.4)
+        assert result.completed
+        analysis = analyze_sender(sender_trace,
+                                  get_behavior(implementation))
+        assert analysis.violation_count == 0
+
+    def test_no_false_calibration_findings(self):
+        result, sender_trace, receiver_trace = contended_transfer("reno",
+                                                                  0.4)
+        report = calibrate_trace(sender_trace, get_behavior("reno"),
+                                 peer_trace=receiver_trace)
+        assert report.clean, report.summary()
+
+    def test_contention_actually_bites(self):
+        quiet, _, _ = contended_transfer("reno", 0.0001)
+        loaded, _, _ = contended_transfer("reno", 0.6)
+        assert loaded.duration > quiet.duration

@@ -1,0 +1,126 @@
+"""Event-engine semantics: ordering, cancellation, bounds."""
+
+import pytest
+
+from repro.netsim.engine import Engine
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        engine = Engine()
+        log = []
+        engine.schedule(0.3, lambda: log.append("c"))
+        engine.schedule(0.1, lambda: log.append("a"))
+        engine.schedule(0.2, lambda: log.append("b"))
+        engine.run()
+        assert log == ["a", "b", "c"]
+
+    def test_ties_run_in_scheduling_order(self):
+        engine = Engine()
+        log = []
+        for name in "abcd":
+            engine.schedule(1.0, lambda n=name: log.append(n))
+        engine.run()
+        assert log == ["a", "b", "c", "d"]
+
+    def test_now_advances(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(0.5, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [0.5]
+        assert engine.now == 0.5
+
+    def test_nested_scheduling(self):
+        engine = Engine()
+        log = []
+        engine.schedule(0.1, lambda: engine.schedule(
+            0.1, lambda: log.append(engine.now)))
+        engine.run()
+        assert log == [pytest.approx(0.2)]
+
+    def test_negative_delay_rejected(self):
+        engine = Engine()
+        with pytest.raises(ValueError):
+            engine.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        engine = Engine()
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        with pytest.raises(ValueError):
+            engine.schedule_at(0.5, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_run(self):
+        engine = Engine()
+        log = []
+        timer = engine.schedule(0.1, lambda: log.append("x"))
+        timer.cancel()
+        engine.run()
+        assert log == []
+
+    def test_cancel_is_idempotent(self):
+        engine = Engine()
+        timer = engine.schedule(0.1, lambda: None)
+        timer.cancel()
+        timer.cancel()
+        engine.run()
+
+    def test_pending_excludes_cancelled(self):
+        engine = Engine()
+        engine.schedule(0.1, lambda: None)
+        timer = engine.schedule(0.2, lambda: None)
+        timer.cancel()
+        assert engine.pending() == 1
+
+
+class TestRunBounds:
+    def test_until_stops_the_clock(self):
+        engine = Engine()
+        log = []
+        engine.schedule(1.0, lambda: log.append("early"))
+        engine.schedule(3.0, lambda: log.append("late"))
+        engine.run(until=2.0)
+        assert log == ["early"]
+        assert engine.now == 2.0
+
+    def test_until_includes_exact_time(self):
+        engine = Engine()
+        log = []
+        engine.schedule(2.0, lambda: log.append("edge"))
+        engine.run(until=2.0)
+        assert log == ["edge"]
+
+    def test_resume_after_until(self):
+        engine = Engine()
+        log = []
+        engine.schedule(3.0, lambda: log.append("late"))
+        engine.run(until=1.0)
+        engine.run()
+        assert log == ["late"]
+
+    def test_max_events_bound(self):
+        engine = Engine()
+        count = [0]
+
+        def reschedule():
+            count[0] += 1
+            engine.schedule(0.001, reschedule)
+
+        engine.schedule(0.001, reschedule)
+        engine.run(max_events=50)
+        assert count[0] == 50
+
+    def test_events_run_counter(self):
+        engine = Engine()
+        for _ in range(5):
+            engine.schedule(0.1, lambda: None)
+        engine.run()
+        assert engine.events_run == 5
+
+    def test_until_advances_clock_even_with_empty_queue(self):
+        engine = Engine()
+        engine.run(until=7.5)
+        assert engine.now == 7.5

@@ -1,0 +1,149 @@
+"""Link timing, queueing, and loss models."""
+
+import pytest
+
+from repro.netsim.engine import Engine
+from repro.netsim.link import DeterministicLoss, Link, NoLoss, RandomLoss
+from repro.packets import ACK, Endpoint, Segment
+
+A = Endpoint("a", 1)
+B = Endpoint("b", 2)
+
+
+def data_segment(payload=460):
+    # wire_size = payload + 40 = 500 bytes for the default
+    return Segment(src=A, dst=B, seq=0, ack=0, flags=ACK, payload=payload)
+
+
+def build_link(engine, bandwidth=1e6, delay=0.01, **kwargs):
+    link = Link(engine, bandwidth, delay, **kwargs)
+    arrivals = []
+    link.deliver = lambda s: arrivals.append((engine.now, s))
+    return link, arrivals
+
+
+class TestTiming:
+    def test_single_packet_arrival_time(self):
+        engine = Engine()
+        link, arrivals = build_link(engine, bandwidth=1e6, delay=0.01)
+        link.send(data_segment())  # 500 bytes at 1e6 B/s = 0.5 ms
+        engine.run()
+        assert arrivals[0][0] == pytest.approx(0.0105)
+
+    def test_serialization_spaces_arrivals(self):
+        engine = Engine()
+        link, arrivals = build_link(engine, bandwidth=1e6, delay=0.0)
+        link.send(data_segment())
+        link.send(data_segment())
+        engine.run()
+        gap = arrivals[1][0] - arrivals[0][0]
+        assert gap == pytest.approx(0.0005)
+
+    def test_departure_tap_sees_wire_time(self):
+        engine = Engine()
+        link, _ = build_link(engine, bandwidth=1e6, delay=0.01)
+        taps = []
+        link.departure_taps.append(lambda s, t: taps.append(t))
+        link.send(data_segment())
+        link.send(data_segment())
+        engine.run()
+        assert taps[0] == pytest.approx(0.0)
+        assert taps[1] == pytest.approx(0.0005)  # waits for the transmitter
+
+    def test_transmitter_idles_then_resumes(self):
+        engine = Engine()
+        link, arrivals = build_link(engine, bandwidth=1e6, delay=0.0)
+        link.send(data_segment())
+        engine.run()
+        engine.schedule(0.0, lambda: link.send(data_segment()))
+        engine.run()
+        assert len(arrivals) == 2
+
+
+class TestQueueing:
+    def test_queue_overflow_drops(self):
+        engine = Engine()
+        link, arrivals = build_link(engine, queue_limit=2)
+        for _ in range(5):
+            link.send(data_segment())
+        engine.run()
+        # 1 transmitting + 2 queued; the other 2 dropped.
+        assert len(arrivals) == 3
+        assert link.stats_queue_drops == 2
+
+    def test_queue_length_reports_waiting(self):
+        engine = Engine()
+        link, _ = build_link(engine, queue_limit=10)
+        for _ in range(4):
+            link.send(data_segment())
+        assert link.queue_length == 3  # one in flight
+
+    def test_rejects_bad_parameters(self):
+        engine = Engine()
+        with pytest.raises(ValueError):
+            Link(engine, bandwidth=0, delay=0.01)
+        with pytest.raises(ValueError):
+            Link(engine, bandwidth=1e6, delay=-1)
+        with pytest.raises(ValueError):
+            Link(engine, bandwidth=1e6, delay=0, queue_limit=0)
+
+
+class TestLossModels:
+    def test_no_loss_delivers_everything(self):
+        engine = Engine()
+        link, arrivals = build_link(engine, loss=NoLoss())
+        for _ in range(10):
+            link.send(data_segment())
+        engine.run()
+        assert len(arrivals) == 10
+
+    def test_random_loss_drops_roughly_at_rate(self):
+        engine = Engine()
+        link, arrivals = build_link(engine, loss=RandomLoss(0.3, seed=1),
+                                    queue_limit=2000)
+        for _ in range(1000):
+            link.send(data_segment())
+        engine.run()
+        assert 600 <= len(arrivals) <= 800
+
+    def test_random_loss_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            RandomLoss(drop_rate=1.5)
+
+    def test_deterministic_loss_drops_exact_packets(self):
+        engine = Engine()
+        link, arrivals = build_link(
+            engine, loss=DeterministicLoss(drop_nth=[2, 4]), queue_limit=100)
+        segments = [data_segment() for _ in range(5)]
+        for segment in segments:
+            link.send(segment)
+        engine.run()
+        delivered_ids = {s.packet_id for _, s in arrivals}
+        assert segments[0].packet_id in delivered_ids
+        assert segments[1].packet_id not in delivered_ids
+        assert segments[3].packet_id not in delivered_ids
+        assert len(arrivals) == 3
+
+    def test_corruption_marks_but_delivers(self):
+        engine = Engine()
+        link, arrivals = build_link(
+            engine, loss=DeterministicLoss(corrupt_nth=[1]), queue_limit=100)
+        link.send(data_segment())
+        link.send(data_segment())
+        engine.run()
+        assert len(arrivals) == 2
+        assert arrivals[0][1].corrupted
+        assert not arrivals[1][1].corrupted
+
+    def test_stats_accounting(self):
+        engine = Engine()
+        link, _ = build_link(
+            engine, loss=DeterministicLoss(drop_nth=[1], corrupt_nth=[2]),
+            queue_limit=100)
+        for _ in range(3):
+            link.send(data_segment())
+        engine.run()
+        assert link.stats_offered == 3
+        assert link.stats_loss_drops == 1
+        assert link.stats_corrupted == 1
+        assert link.stats_delivered == 2

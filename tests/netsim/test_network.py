@@ -1,0 +1,96 @@
+"""Topology builder wiring."""
+
+import pytest
+
+from repro.netsim.engine import Engine
+from repro.netsim.link import RandomLoss
+from repro.netsim.network import build_path
+from repro.packets import ACK, Endpoint, FlowKey, Segment
+from repro.units import mbit
+
+
+class Sink:
+    def __init__(self):
+        self.segments = []
+
+    def receive(self, segment):
+        self.segments.append(segment)
+
+    def receive_quench(self, quench):
+        pass
+
+
+class TestBuildPath:
+    def test_forward_delivery(self):
+        engine = Engine()
+        path = build_path(engine)
+        local = Endpoint("receiver", 80)
+        remote = Endpoint("sender", 1024)
+        sink = Sink()
+        path.receiver.register(FlowKey(local, remote), sink)
+        path.sender.send(Segment(src=remote, dst=local, seq=0, ack=0,
+                                 flags=ACK, payload=100))
+        engine.run()
+        assert len(sink.segments) == 1
+
+    def test_reverse_delivery(self):
+        engine = Engine()
+        path = build_path(engine)
+        local = Endpoint("sender", 1024)
+        remote = Endpoint("receiver", 80)
+        sink = Sink()
+        path.sender.register(FlowKey(local, remote), sink)
+        path.receiver.send(Segment(src=remote, dst=local, seq=0, ack=0,
+                                   flags=ACK))
+        engine.run()
+        assert len(sink.segments) == 1
+
+    def test_rtt_property(self):
+        engine = Engine()
+        path = build_path(engine, access_delay=0.001,
+                          bottleneck_delay=0.030)
+        assert path.rtt == pytest.approx(0.062)
+
+    def test_arrival_time_matches_path_delays(self):
+        engine = Engine()
+        path = build_path(engine, access_bandwidth=mbit(10),
+                          access_delay=0.001, bottleneck_bandwidth=mbit(1),
+                          bottleneck_delay=0.030)
+        local = Endpoint("receiver", 80)
+        remote = Endpoint("sender", 1024)
+        sink = Sink()
+        arrival = []
+        path.receiver.recv_taps.append(lambda s, t: arrival.append(t))
+        path.receiver.register(FlowKey(local, remote), sink)
+        path.sender.send(Segment(src=remote, dst=local, seq=0, ack=0,
+                                 flags=ACK, payload=472))  # 512 on the wire
+        engine.run()
+        # access: 512/1.25e6 + 1ms; bottleneck: 512/1.25e5 + 30ms
+        expected = 512 / 1.25e6 + 0.001 + 512 / 1.25e5 + 0.030
+        assert arrival[0] == pytest.approx(expected)
+
+    def test_forward_loss_only_affects_data_direction(self):
+        engine = Engine()
+        path = build_path(engine, forward_loss=RandomLoss(1.0, seed=0))
+        data_sink, ack_sink = Sink(), Sink()
+        path.receiver.register(
+            FlowKey(Endpoint("receiver", 80), Endpoint("sender", 1024)),
+            data_sink)
+        path.sender.register(
+            FlowKey(Endpoint("sender", 1024), Endpoint("receiver", 80)),
+            ack_sink)
+        path.sender.send(Segment(src=Endpoint("sender", 1024),
+                                 dst=Endpoint("receiver", 80),
+                                 seq=0, ack=0, flags=ACK, payload=10))
+        path.receiver.send(Segment(src=Endpoint("receiver", 80),
+                                   dst=Endpoint("sender", 1024),
+                                   seq=0, ack=0, flags=ACK))
+        engine.run()
+        assert data_sink.segments == []     # dropped at the bottleneck
+        assert len(ack_sink.segments) == 1  # reverse path unaffected
+
+    def test_quench_threshold_configures_router(self):
+        engine = Engine()
+        path = build_path(engine, quench_threshold=5)
+        assert path.router.quench_threshold == 5
+        assert path.router.quench_target is path.sender

@@ -1,0 +1,189 @@
+"""Host demux, routing, and router source-quench behavior."""
+
+import pytest
+
+from repro.netsim.engine import Engine
+from repro.netsim.link import Link
+from repro.netsim.node import Host, Router
+from repro.packets import ACK, Endpoint, FlowKey, Segment, SourceQuench
+
+
+class Sink:
+    """Minimal connection object for demux tests."""
+
+    def __init__(self):
+        self.segments = []
+        self.quenches = []
+
+    def receive(self, segment):
+        self.segments.append(segment)
+
+    def receive_quench(self, quench):
+        self.quenches.append(quench)
+
+
+def wire_pair(engine):
+    """Two hosts joined by a pair of links."""
+    a = Host(engine, "a")
+    b = Host(engine, "b")
+    ab = Link(engine, 1e6, 0.001)
+    ba = Link(engine, 1e6, 0.001)
+    a.add_route("b", ab)
+    b.add_route("a", ba)
+    b.attach_inbound(ab)
+    a.attach_inbound(ba)
+    return a, b
+
+
+class TestHost:
+    def test_demux_to_registered_flow(self):
+        engine = Engine()
+        a, b = wire_pair(engine)
+        local = Endpoint("b", 80)
+        remote = Endpoint("a", 1024)
+        sink = Sink()
+        b.register(FlowKey(local, remote), sink)
+        a.send(Segment(src=remote, dst=local, seq=0, ack=0, flags=ACK,
+                       payload=10))
+        engine.run()
+        assert len(sink.segments) == 1
+
+    def test_unregistered_flow_discarded(self):
+        engine = Engine()
+        a, b = wire_pair(engine)
+        a.send(Segment(src=Endpoint("a", 1), dst=Endpoint("b", 2),
+                       seq=0, ack=0, flags=ACK))
+        engine.run()  # no exception, packet silently dropped
+
+    def test_duplicate_registration_rejected(self):
+        engine = Engine()
+        host = Host(engine, "h")
+        key = FlowKey(Endpoint("h", 1), Endpoint("x", 2))
+        host.register(key, Sink())
+        with pytest.raises(ValueError):
+            host.register(key, Sink())
+
+    def test_unregister_then_reregister(self):
+        engine = Engine()
+        host = Host(engine, "h")
+        key = FlowKey(Endpoint("h", 1), Endpoint("x", 2))
+        host.register(key, Sink())
+        host.unregister(key)
+        host.register(key, Sink())
+
+    def test_send_enforces_source_address(self):
+        engine = Engine()
+        host = Host(engine, "h")
+        with pytest.raises(ValueError):
+            host.send(Segment(src=Endpoint("other", 1),
+                              dst=Endpoint("x", 2), seq=0, ack=0, flags=ACK))
+
+    def test_send_without_route_rejected(self):
+        engine = Engine()
+        host = Host(engine, "h")
+        with pytest.raises(ValueError):
+            host.send(Segment(src=Endpoint("h", 1), dst=Endpoint("x", 2),
+                              seq=0, ack=0, flags=ACK))
+
+    def test_corrupted_packet_dropped_after_tap(self):
+        engine = Engine()
+        a, b = wire_pair(engine)
+        local = Endpoint("b", 80)
+        remote = Endpoint("a", 1024)
+        sink = Sink()
+        b.register(FlowKey(local, remote), sink)
+        tapped = []
+        b.recv_taps.append(lambda s, t: tapped.append(s))
+        segment = Segment(src=remote, dst=local, seq=0, ack=0, flags=ACK,
+                          payload=10, corrupted=True)
+        a.send(segment)
+        engine.run()
+        assert len(tapped) == 1       # the filter saw it ...
+        assert sink.segments == []    # ... but TCP never did
+
+    def test_send_taps_see_outbound(self):
+        engine = Engine()
+        a, b = wire_pair(engine)
+        tapped = []
+        a.send_taps.append(lambda s, t: tapped.append((s, t)))
+        a.send(Segment(src=Endpoint("a", 1), dst=Endpoint("b", 2),
+                       seq=0, ack=0, flags=ACK))
+        assert len(tapped) == 1
+
+    def test_quench_not_recorded_by_taps(self):
+        engine = Engine()
+        host = Host(engine, "h")
+        tapped = []
+        host.recv_taps.append(lambda s, t: tapped.append(s))
+        local = Endpoint("h", 1)
+        remote = Endpoint("x", 2)
+        sink = Sink()
+        host.register(FlowKey(local, remote), sink)
+        host.deliver_quench(SourceQuench(target=local,
+                                         flow=FlowKey(local, remote)))
+        assert sink.quenches and not tapped
+
+
+class TestRouter:
+    def test_forwards_by_destination(self):
+        engine = Engine()
+        router = Router(engine)
+        out = Link(engine, 1e6, 0.001)
+        arrivals = []
+        out.deliver = lambda s: arrivals.append(s)
+        router.add_route("b", out)
+        router.forward(Segment(src=Endpoint("a", 1), dst=Endpoint("b", 2),
+                               seq=0, ack=0, flags=ACK))
+        engine.run()
+        assert len(arrivals) == 1
+        assert router.stats_forwarded == 1
+
+    def test_unroutable_silently_discarded(self):
+        engine = Engine()
+        router = Router(engine)
+        router.forward(Segment(src=Endpoint("a", 1), dst=Endpoint("zz", 2),
+                               seq=0, ack=0, flags=ACK))
+        assert router.stats_forwarded == 0
+
+    def test_quench_fires_on_queue_buildup(self):
+        engine = Engine()
+        router = Router(engine, quench_threshold=3)
+        sender = Host(engine, "a")
+        router.quench_target = sender
+        local = Endpoint("a", 1)
+        remote = Endpoint("b", 2)
+        sink = Sink()
+        sender.register(FlowKey(local, remote), sink)
+        out = Link(engine, 1e5, 0.001, queue_limit=100)
+        out.deliver = lambda s: None
+        router.add_route("b", out)
+        for _ in range(10):
+            router.forward(Segment(src=local, dst=remote, seq=0, ack=0,
+                                   flags=ACK, payload=500))
+        engine.run()
+        assert router.stats_quenches == 1
+        assert len(sink.quenches) == 1
+
+    def test_quench_rearms_after_drain(self):
+        engine = Engine()
+        router = Router(engine, quench_threshold=3)
+        sender = Host(engine, "a")
+        router.quench_target = sender
+        local = Endpoint("a", 1)
+        remote = Endpoint("b", 2)
+        sink = Sink()
+        sender.register(FlowKey(local, remote), sink)
+        out = Link(engine, 1e6, 0.0, queue_limit=100)
+        out.deliver = lambda s: None
+        router.add_route("b", out)
+
+        def burst():
+            for _ in range(6):
+                router.forward(Segment(src=local, dst=remote, seq=0, ack=0,
+                                       flags=ACK, payload=500))
+
+        burst()
+        engine.run()          # queue drains fully -> re-arm
+        engine.schedule(0.0, burst)
+        engine.run()
+        assert router.stats_quenches == 2

@@ -1,0 +1,162 @@
+"""Catalog contents reflect the paper's documented behaviors."""
+
+import pytest
+
+from repro.tcp.catalog import (
+    CATALOG,
+    CORE_STUDY,
+    SECOND_GROUP,
+    LINUX_10,
+    LINUX_20,
+    NET3,
+    RENO,
+    SOLARIS_23,
+    SOLARIS_24,
+    SUNOS_413,
+    TAHOE,
+    TRUMPET,
+    get_behavior,
+    implementation_names,
+)
+from repro.tcp.params import (
+    AckPolicy,
+    IncreaseRule,
+    Lineage,
+    QuenchResponse,
+    RTOStyle,
+)
+
+
+class TestRegistry:
+    def test_all_core_study_implementations_present(self):
+        for label in CORE_STUDY:
+            assert label in CATALOG
+
+    def test_second_group_present(self):
+        for label in SECOND_GROUP:
+            assert label in CATALOG
+
+    def test_get_behavior_by_label(self):
+        assert get_behavior("solaris-2.4") is SOLARIS_24
+
+    def test_unknown_label_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="known:"):
+            get_behavior("freebsd-99")
+
+    def test_names_sorted(self):
+        names = implementation_names()
+        assert names == sorted(names)
+
+    def test_labels_are_keys(self):
+        for label, behavior in CATALOG.items():
+            assert behavior.label() == label
+
+
+class TestGenericBases:
+    """§8.1, §8.2: the Tahoe and Reno reference behaviors."""
+
+    def test_tahoe_has_no_fast_recovery(self):
+        assert TAHOE.fast_retransmit and not TAHOE.fast_recovery
+
+    def test_tahoe_uses_eqn1(self):
+        assert TAHOE.increase_rule is IncreaseRule.EQN1
+
+    def test_tahoe_ssthresh_floor_one_mss(self):
+        assert TAHOE.ssthresh_min_segments == 1
+
+    def test_tahoe_strict_ca_test(self):
+        assert not TAHOE.ca_on_equal
+
+    def test_reno_has_fast_recovery(self):
+        assert RENO.fast_recovery
+
+    def test_reno_uses_eqn2(self):
+        assert RENO.increase_rule is IncreaseRule.EQN2
+
+    def test_reno_carries_deflation_bugs(self):
+        assert RENO.header_prediction_bug and RENO.fencepost_bug
+
+
+class TestDocumentedBehaviors:
+    """The major per-implementation findings of §§8.4-8.6, §10."""
+
+    def test_net3_uninitialized_cwnd_bug(self):
+        assert NET3.uninitialized_cwnd_bug
+
+    def test_sunos_is_tahoe_derived(self):
+        assert SUNOS_413.lineage is Lineage.TAHOE
+        assert not SUNOS_413.fast_recovery
+
+    def test_linux10_broken_retransmission(self):
+        assert LINUX_10.retransmit_whole_flight
+        assert LINUX_10.dup_ack_triggers_flight_retransmit
+        assert not LINUX_10.fast_retransmit
+
+    def test_linux10_acks_every_packet(self):
+        assert LINUX_10.ack_policy is AckPolicy.EVERY_PACKET
+
+    def test_linux10_ssthresh_init_one_segment(self):
+        assert LINUX_10.initial_ssthresh_segments == 1
+
+    def test_linux10_quench_decrements_cwnd(self):
+        assert LINUX_10.quench_response is QuenchResponse.DECREMENT_CWND
+
+    def test_linux10_backoff_not_fully_doubling(self):
+        assert LINUX_10.backoff_factor < 2.0
+
+    def test_solaris_low_initial_rto(self):
+        assert SOLARIS_23.initial_rto == pytest.approx(0.3)
+
+    def test_solaris_rto_collapse_bug(self):
+        assert SOLARIS_23.rto_collapse_on_rexmit_ack
+
+    def test_solaris_fast_recovery_disabled_by_bug(self):
+        assert SOLARIS_23.fast_recovery
+        assert SOLARIS_23.fast_recovery_disabled_by_bug
+
+    def test_solaris_50ms_ack_timer(self):
+        assert SOLARIS_23.ack_policy is AckPolicy.INTERVAL_50MS
+        assert SOLARIS_23.delayed_ack_timeout == pytest.approx(0.050)
+
+    def test_solaris_quench_halves_ssthresh(self):
+        assert (SOLARIS_23.quench_response
+                is QuenchResponse.SLOW_START_HALVE_SSTHRESH)
+
+    def test_solaris_24_fixes_only_acking_bug(self):
+        """§8.6: 'The only difference we observed between the two is
+        that 2.4 fixes a relatively minor bug in 2.3's acking policy.'"""
+        from dataclasses import asdict
+        d23, d24 = asdict(SOLARIS_23), asdict(SOLARIS_24)
+        differing = {k for k in d23
+                     if d23[k] != d24[k] and k != "version"}
+        assert differing == {"immediate_ack_on_hole_fill"}
+
+    def test_linux20_fixes_retransmission(self):
+        assert not LINUX_20.retransmit_whole_flight
+        assert not LINUX_20.dup_ack_triggers_flight_retransmit
+        assert LINUX_20.fast_retransmit
+        assert LINUX_20.rto_style is RTOStyle.JACOBSON
+
+    def test_trumpet_severe_deficiencies(self):
+        assert TRUMPET.retransmit_whole_flight
+        assert not TRUMPET.fast_retransmit
+        assert TRUMPET.rto_style is RTOStyle.TRUMPET
+
+    def test_independent_lineages(self):
+        for label in ("linux-1.0", "solaris-2.3", "trumpet-2.0b",
+                      "windows-95"):
+            assert CATALOG[label].lineage is Lineage.INDEPENDENT
+
+    def test_variation_axes_all_represented(self):
+        """Every §8.3 minor-variation axis appears in some entry."""
+        values = list(CATALOG.values())
+        assert any(b.mss_confusion for b in values)
+        assert any(b.cwnd_init_from_offered_mss for b in values)
+        assert any(not b.clear_dupacks_on_timeout for b in values)
+        assert any(b.dupack_updates_cwnd for b in values)
+        assert any(b.uninitialized_cwnd_bug for b in values)
+        rules = {b.increase_rule for b in values}
+        assert rules == {IncreaseRule.EQN1, IncreaseRule.EQN2}
+        from repro.tcp.params import SsthreshRounding
+        roundings = {b.ssthresh_rounding for b in values}
+        assert len(roundings) >= 2

@@ -1,0 +1,61 @@
+"""TransferResult wiring and properties."""
+
+import pytest
+
+from repro.tcp.catalog import get_behavior
+from repro.tcp.connection import run_bulk_transfer
+from repro.units import kbyte
+
+from tests.conftest import cached_transfer
+
+
+class TestTransferResult:
+    def test_throughput_is_goodput(self):
+        result = cached_transfer("reno").result
+        assert result.throughput == pytest.approx(
+            51200 / result.duration)
+
+    def test_retransmission_fraction_zero_when_clean(self):
+        result = cached_transfer("reno").result
+        assert result.retransmission_fraction == 0.0
+
+    def test_retransmission_fraction_positive_under_loss(self):
+        result = cached_transfer("reno", "wan-lossy", seed=1).result
+        assert 0.0 < result.retransmission_fraction < 0.5
+
+    def test_duration_uses_sender_finish_time(self):
+        result = cached_transfer("reno").result
+        assert result.duration == result.sender.finish_time
+
+    def test_receiver_behavior_defaults_to_sender(self):
+        result = run_bulk_transfer(get_behavior("linux-1.0"),
+                                   data_size=kbyte(10))
+        assert result.receiver.behavior.name == "linux"
+
+    def test_mixed_sender_receiver(self):
+        result = run_bulk_transfer(get_behavior("reno"),
+                                   get_behavior("linux-1.0"),
+                                   data_size=kbyte(10))
+        assert result.completed
+        # Linux receiver acks every packet: one ack per data packet.
+        assert (result.receiver.stats_acks_sent
+                >= result.sender.stats_data_packets)
+
+    def test_small_transfer_single_segment(self):
+        result = run_bulk_transfer(get_behavior("reno"), data_size=100)
+        assert result.completed
+        assert result.sender.stats_data_packets == 1
+
+    def test_zero_wait_on_max_duration(self):
+        # A transfer that cannot complete (100% loss) stops at the cap.
+        from repro.netsim.link import RandomLoss
+        result = run_bulk_transfer(get_behavior("reno"), data_size=kbyte(10),
+                                   forward_loss=RandomLoss(1.0, seed=0),
+                                   max_duration=30.0)
+        assert not result.completed
+
+    @pytest.mark.parametrize("mss", [256, 512, 1024, 1460])
+    def test_various_mss_values(self, mss):
+        result = run_bulk_transfer(get_behavior("reno"), data_size=kbyte(20),
+                                   mss=mss, receiver_mss=1460)
+        assert result.completed

@@ -1,0 +1,98 @@
+"""Consumption-based acking (§9.1) and heartbeat phase."""
+
+import pytest
+
+from repro.core import analyze_receiver
+from repro.harness.scenarios import Scenario, traced_transfer
+from repro.tcp.catalog import CATALOG, get_behavior
+from repro.tcp.params import Lineage
+from repro.units import mbit
+
+QUIET = Scenario("quiet-test", bottleneck_bandwidth=mbit(10.0),
+                 bottleneck_delay=0.010)
+
+
+class TestCatalogFlags:
+    def test_bsd_derived_ack_on_consumption(self):
+        for label, behavior in CATALOG.items():
+            if behavior.lineage in (Lineage.RENO, Lineage.TAHOE):
+                assert behavior.ack_on_consumption, label
+
+    def test_independent_stacks_ack_on_arrival(self):
+        for label in ("linux-1.0", "solaris-2.3", "trumpet-2.0b"):
+            assert not CATALOG[label].ack_on_consumption
+
+
+class TestConsumptionAcking:
+    def kwargs(self):
+        return dict(data_size=20480, sender_window=1024,
+                    receiver_buffer=16384)
+
+    def ack_gap_after_pair(self, consume_rate):
+        """Time from the pair's second arrival to the covering ack."""
+        transfer = traced_transfer(get_behavior("reno"), QUIET,
+                                   consume_rate=consume_rate,
+                                   **self.kwargs())
+        trace = transfer.receiver_trace
+        flow = trace.primary_flow()
+        gaps = []
+        last_data = None
+        for record in trace:
+            if record.flow == flow and record.payload > 0:
+                last_data = record.timestamp
+            elif record.flow == flow.reversed() and record.has_ack \
+                    and not record.is_syn and last_data is not None:
+                gaps.append(record.timestamp - last_data)
+                last_data = None
+        return sorted(gaps)[len(gaps) // 2]
+
+    def test_prompt_reader_acks_promptly(self):
+        assert self.ack_gap_after_pair(None) < 0.002
+
+    def test_slow_reader_delays_the_threshold_ack(self):
+        """§9.1: the ack waits for the application to consume two
+        segments' worth."""
+        prompt = self.ack_gap_after_pair(None)
+        slow = self.ack_gap_after_pair(40000.0)
+        # 1024 bytes at 40 KB/s = ~25.6 ms of reader schedule.
+        assert slow > prompt + 0.010
+        assert slow == pytest.approx(0.0256, abs=0.010)
+
+    def test_transfer_still_completes(self):
+        transfer = traced_transfer(get_behavior("reno"), QUIET,
+                                   consume_rate=40000.0, **self.kwargs())
+        assert transfer.result.completed
+
+    def test_receiver_analysis_stays_clean(self):
+        transfer = traced_transfer(get_behavior("reno"), QUIET,
+                                   consume_rate=40000.0, **self.kwargs())
+        analysis = analyze_receiver(transfer.receiver_trace,
+                                    get_behavior("reno"))
+        assert analysis.gratuitous == []
+        assert analysis.delay_ceiling_violations == []
+
+
+class TestHeartbeatPhase:
+    def test_phase_shifts_delayed_acks(self):
+        def first_delayed_ack_time(phase):
+            transfer = traced_transfer(get_behavior("reno"), QUIET,
+                                       data_size=2048, sender_window=512,
+                                       heartbeat_phase=phase)
+            acks = transfer.receiver_trace.acks()
+            return acks[0].timestamp
+
+        t0 = first_delayed_ack_time(0.0)
+        t1 = first_delayed_ack_time(0.095)
+        assert t0 != t1
+
+    def test_phase_wraps_modulo_timeout(self):
+        from repro.netsim.engine import Engine
+        from repro.netsim.node import Host
+        from repro.packets import Endpoint
+        from repro.tcp.receiver import TCPReceiver
+        engine = Engine()
+        host = Host(engine, "r")
+        receiver = TCPReceiver(engine, host, get_behavior("reno"),
+                               Endpoint("r", 1), Endpoint("s", 2),
+                               heartbeat_phase=0.45)
+        assert receiver.heartbeat_phase == pytest.approx(0.05)

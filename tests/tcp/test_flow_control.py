@@ -1,0 +1,146 @@
+"""Zero-window probing, window promises, and connection abandonment."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import analyze_receiver, analyze_sender
+from repro.harness.scenarios import traced_transfer
+from repro.netsim.link import DeterministicLoss
+from repro.tcp.catalog import get_behavior
+from repro.tcp.connection import run_bulk_transfer
+
+
+def slow_consumer_transfer(behavior=None, persist_interval=None, **kwargs):
+    behavior = behavior or get_behavior("reno")
+    if persist_interval is not None:
+        behavior = replace(behavior, persist_interval=persist_interval)
+    defaults = dict(data_size=8192, receiver_buffer=2048,
+                    consume_rate=800.0, max_duration=120)
+    defaults.update(kwargs)
+    return traced_transfer(behavior, "lan", **defaults)
+
+
+class TestZeroWindowProbing:
+    def test_transfer_completes_despite_closed_window(self):
+        transfer = slow_consumer_transfer()
+        assert transfer.result.completed
+
+    def test_window_reaches_zero(self):
+        transfer = slow_consumer_transfer()
+        acks = transfer.sender_trace.acks()
+        assert any(a.window == 0 for a in acks)
+
+    def test_persist_timer_probes_when_updates_are_slow(self):
+        transfer = slow_consumer_transfer(persist_interval=0.4)
+        sender = transfer.result.sender
+        assert sender.stats_window_probes >= 3
+        # Probes carry exactly one byte.
+        flow = transfer.sender_trace.primary_flow()
+        probes = [r for r in transfer.sender_trace
+                  if r.flow == flow and r.payload == 1]
+        assert len(probes) == sender.stats_window_probes
+
+    def test_probes_rejected_but_acked(self):
+        transfer = slow_consumer_transfer(persist_interval=0.4)
+        receiver = transfer.result.receiver
+        assert receiver.stats_probes_rejected >= \
+            transfer.result.sender.stats_window_probes
+        assert transfer.result.completed
+
+    def test_probe_backoff(self):
+        transfer = slow_consumer_transfer(persist_interval=0.4,
+                                          consume_rate=200.0,
+                                          max_duration=300)
+        flow = transfer.sender_trace.primary_flow()
+        probes = [r.timestamp for r in transfer.sender_trace
+                  if r.flow == flow and r.payload == 1]
+        if len(probes) >= 3:
+            gaps = [b - a for a, b in zip(probes, probes[1:])]
+            # consecutive probes in the same stall back off
+            assert any(later > earlier * 1.5
+                       for earlier, later in zip(gaps, gaps[1:])) or \
+                len(set(round(g, 1) for g in gaps)) > 1
+
+    def test_sender_analysis_explains_probes(self):
+        transfer = slow_consumer_transfer(persist_interval=0.4)
+        analysis = analyze_sender(transfer.sender_trace,
+                                  replace(get_behavior("reno"),
+                                          persist_interval=0.4))
+        assert analysis.violation_count == 0
+        assert analysis.counts_by_kind().get("window_probe", 0) >= 3
+
+    def test_receiver_analysis_no_gratuitous_acks(self):
+        transfer = slow_consumer_transfer(persist_interval=0.4)
+        analysis = analyze_receiver(transfer.receiver_trace,
+                                    get_behavior("reno"))
+        assert analysis.gratuitous == []
+
+    def test_no_reneging_on_advertised_window(self):
+        """Data within a previously advertised window is accepted even
+        if the buffer has since shrunk."""
+        transfer = slow_consumer_transfer()
+        # All 8 KB arrive despite the 2 KB buffer and slow consumer.
+        assert transfer.result.receiver.stats_data_received == 8192
+
+
+class TestAbort:
+    def drop_after(self, boundary):
+        return DeterministicLoss(
+            predicate=lambda s: "drop" if s.payload > 0
+            and s.seq > boundary else "deliver")
+
+    def test_gives_up_after_max_retries(self):
+        result = run_bulk_transfer(
+            replace(get_behavior("reno"), max_data_retries=4),
+            data_size=20480, forward_loss=self.drop_after(2048),
+            max_duration=4000)
+        assert result.sender.aborted
+        assert result.sender.state == "CLOSED_DONE"
+        assert not result.completed
+
+    def test_abort_sends_rst(self):
+        behavior = replace(get_behavior("reno"), max_data_retries=4)
+        transfer = traced_transfer(behavior, "wan", data_size=20480,
+                                   max_duration=4000)
+        # rebuild with loss via run_bulk_transfer against a tapped path
+        from repro.capture.filter import PacketFilter, attach_at_host
+        from repro.netsim.engine import Engine
+        from repro.netsim.network import build_path
+        engine = Engine()
+        path = build_path(engine, forward_loss=self.drop_after(2048))
+        packet_filter = PacketFilter(vantage="sender")
+        attach_at_host(path.sender, packet_filter)
+        result = run_bulk_transfer(behavior, data_size=20480, path=path,
+                                   max_duration=4000)
+        assert result.sender.aborted
+        trace = packet_filter.trace()
+        assert any(r.is_rst for r in trace)
+
+    def test_djm97_no_rst_variant(self):
+        """[DJM97]: some TCPs fail to terminate with a RST."""
+        behavior = replace(get_behavior("reno"), max_data_retries=4,
+                           sends_rst_on_abort=False)
+        from repro.capture.filter import PacketFilter, attach_at_host
+        from repro.netsim.engine import Engine
+        from repro.netsim.network import build_path
+        engine = Engine()
+        path = build_path(engine, forward_loss=self.drop_after(2048))
+        packet_filter = PacketFilter(vantage="sender")
+        attach_at_host(path.sender, packet_filter)
+        result = run_bulk_transfer(behavior, data_size=20480, path=path,
+                                   max_duration=4000)
+        assert result.sender.aborted
+        assert not any(r.is_rst for r in packet_filter.trace())
+
+    def test_retry_counter_resets_on_progress(self):
+        """Occasional successes keep the connection alive far past
+        max_data_retries total timeouts."""
+        result = run_bulk_transfer(
+            replace(get_behavior("reno"), max_data_retries=6),
+            data_size=30720,
+            forward_loss=DeterministicLoss(
+                drop_nth=[10, 20, 30, 40, 50, 60, 70, 80]),
+            max_duration=600)
+        assert result.completed
+        assert not result.sender.aborted

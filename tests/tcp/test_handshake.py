@@ -1,0 +1,98 @@
+"""Connection-establishment behavior (§2's [St96] observations)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.capture.filter import attach_filter_pair
+from repro.netsim.engine import Engine
+from repro.netsim.link import DeterministicLoss
+from repro.netsim.network import build_path
+from repro.tcp.catalog import get_behavior
+from repro.tcp.connection import run_bulk_transfer
+from repro.units import kbyte
+
+
+def handshake_run(behavior=None, forward_loss=None, reverse_loss=None,
+                  data_size=4096, max_duration=120):
+    engine = Engine()
+    path = build_path(engine, forward_loss=forward_loss,
+                      reverse_loss=reverse_loss)
+    sender_filter, receiver_filter = attach_filter_pair(path)
+    result = run_bulk_transfer(behavior or get_behavior("reno"),
+                               data_size=data_size, path=path,
+                               max_duration=max_duration)
+    return result, sender_filter.trace(), receiver_filter.trace()
+
+
+class TestSynAckLoss:
+    def test_lost_synack_recovered_by_syn_retry(self):
+        result, sender_trace, receiver_trace = handshake_run(
+            reverse_loss=DeterministicLoss(drop_nth=[1]))
+        assert result.completed
+        # The server saw the retransmitted SYN and re-sent its SYN-ack.
+        server_syns = [r for r in receiver_trace if r.is_syn
+                       and not r.has_ack]
+        assert len(server_syns) == 2
+        synacks = [r for r in receiver_trace if r.is_syn and r.has_ack]
+        assert len(synacks) == 2
+
+    def test_two_lost_synacks(self):
+        result, _, receiver_trace = handshake_run(
+            reverse_loss=DeterministicLoss(drop_nth=[1, 2]))
+        assert result.completed
+        server_syns = [r for r in receiver_trace if r.is_syn
+                       and not r.has_ack]
+        assert len(server_syns) == 3
+
+    def test_syn_retry_uses_exponential_backoff(self):
+        _, sender_trace, _ = handshake_run(
+            reverse_loss=DeterministicLoss(drop_nth=[1, 2]))
+        syns = [r.timestamp for r in sender_trace
+                if r.is_syn and not r.has_ack]
+        gaps = [b - a for a, b in zip(syns, syns[1:])]
+        assert len(gaps) == 2
+        assert gaps[1] == pytest.approx(gaps[0] * 2, rel=0.05)
+
+
+class TestBrokenSynTimer:
+    def broken(self):
+        return replace(get_behavior("trumpet-2.0b"),
+                       initial_syn_timeout=0.040, syn_backoff_factor=1.0,
+                       max_syn_retries=40)
+
+    def test_storm_rate(self):
+        """[St96]: storms of tens of SYNs per second."""
+        result, sender_trace, _ = handshake_run(
+            behavior=self.broken(),
+            forward_loss=DeterministicLoss(predicate=lambda s: "drop"))
+        syns = [r.timestamp for r in sender_trace if r.is_syn]
+        rate = (len(syns) - 1) / (syns[-1] - syns[0])
+        assert rate >= 20
+        assert not result.completed
+
+    def test_broken_timer_still_connects_on_good_path(self):
+        result, _, _ = handshake_run(behavior=self.broken())
+        assert result.completed
+
+    def test_configured_retry_cap_respected(self):
+        capped = replace(self.broken(), max_syn_retries=5)
+        _, sender_trace, _ = handshake_run(
+            behavior=capped,
+            forward_loss=DeterministicLoss(predicate=lambda s: "drop"))
+        syns = [r for r in sender_trace if r.is_syn]
+        assert len(syns) == 1 + 5       # the initial SYN plus 5 retries
+
+
+class TestAnalysisWithSynRetries:
+    def test_analyzer_tolerates_duplicate_handshake(self):
+        from repro.core import analyze_sender, analyze_receiver
+        result, sender_trace, receiver_trace = handshake_run(
+            reverse_loss=DeterministicLoss(drop_nth=[1]),
+            data_size=kbyte(20))
+        assert result.completed
+        analysis = analyze_sender(sender_trace, get_behavior("reno"))
+        assert analysis.violation_count == 0
+        receiver_analysis = analyze_receiver(receiver_trace,
+                                             get_behavior("reno"))
+        assert receiver_analysis.gratuitous == []

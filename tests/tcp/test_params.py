@@ -1,0 +1,134 @@
+"""The behavior catalog's shared congestion arithmetic (§8)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tcp import params as P
+from repro.tcp.catalog import LINUX_10, RENO, SOLARIS_23, TAHOE
+from repro.tcp.params import (
+    HUGE_WINDOW,
+    SsthreshRounding,
+)
+
+MSS = 512
+
+
+class TestEffectiveMSS:
+    def test_plain(self):
+        assert P.effective_mss(RENO, MSS) == MSS
+
+    def test_mss_confusion_counts_option_bytes(self):
+        from dataclasses import replace
+        confused = replace(RENO, mss_confusion=True)
+        assert P.effective_mss(confused, MSS) == MSS + 4
+
+
+class TestInitialWindows:
+    def test_default_one_segment(self):
+        assert P.initial_cwnd(RENO, MSS, MSS, True) == MSS
+
+    def test_net3_bug_without_peer_mss_option(self):
+        from repro.tcp.catalog import NET3
+        assert P.initial_cwnd(NET3, MSS, MSS, False) == HUGE_WINDOW
+        assert P.initial_ssthresh(NET3, MSS, False) == HUGE_WINDOW
+
+    def test_net3_bug_dormant_with_mss_option(self):
+        from repro.tcp.catalog import NET3
+        assert P.initial_cwnd(NET3, MSS, MSS, True) == MSS
+
+    def test_cwnd_from_offered_mss(self):
+        from dataclasses import replace
+        buggy = replace(RENO, cwnd_init_from_offered_mss=True)
+        assert P.initial_cwnd(buggy, 512, 1460, True) == 1460
+
+    def test_linux_ssthresh_one_segment(self):
+        assert P.initial_ssthresh(LINUX_10, MSS, True) == MSS
+
+    def test_default_ssthresh_huge(self):
+        assert P.initial_ssthresh(RENO, MSS, True) == HUGE_WINDOW
+
+
+class TestSlowStartTest:
+    def test_strict_test(self):
+        # Tahoe: CA only when cwnd strictly exceeds ssthresh.
+        assert not P.in_congestion_avoidance(TAHOE, 1024, 1024)
+        assert P.in_congestion_avoidance(TAHOE, 1025, 1024)
+
+    def test_equal_test(self):
+        assert P.in_congestion_avoidance(RENO, 1024, 1024)
+
+
+class TestIncrease:
+    def test_slow_start_adds_mss(self):
+        assert P.increase_cwnd(RENO, MSS, HUGE_WINDOW, MSS, 65535) == 2 * MSS
+
+    def test_eqn1_congestion_avoidance(self):
+        cwnd = 4 * MSS
+        new = P.increase_cwnd(TAHOE, cwnd, MSS, MSS, 65535)
+        assert new == cwnd + (MSS * MSS) // cwnd
+
+    def test_eqn2_adds_extra_term(self):
+        cwnd = 4 * MSS
+        new = P.increase_cwnd(RENO, cwnd, MSS, MSS, 65535)
+        assert new == cwnd + (MSS * MSS) // cwnd + MSS // 8
+
+    def test_capped_at_max_window(self):
+        assert P.increase_cwnd(RENO, 65535, HUGE_WINDOW, MSS, 65535) == 65535
+
+    @given(st.integers(min_value=512, max_value=65535))
+    def test_increase_is_monotone(self, cwnd):
+        assert P.increase_cwnd(RENO, cwnd, HUGE_WINDOW, MSS, 10**9) > cwnd
+
+    def test_eqn2_superlinear_vs_eqn1(self):
+        cwnd = 16 * MSS
+        eqn1 = P.increase_cwnd(TAHOE, cwnd, MSS, MSS, 10**9)
+        eqn2 = P.increase_cwnd(RENO, cwnd, MSS, MSS, 10**9)
+        assert eqn2 - eqn1 == MSS // 8
+
+
+class TestSsthreshCut:
+    def test_halves_and_rounds_down(self):
+        assert P.cut_ssthresh(RENO, 5 * MSS, 65535, MSS) == 2 * MSS
+
+    def test_offered_window_binds(self):
+        assert P.cut_ssthresh(RENO, 64 * MSS, 8 * MSS, MSS) == 4 * MSS
+
+    def test_minimum_two_segments_reno(self):
+        assert P.cut_ssthresh(RENO, MSS, 65535, MSS) == 2 * MSS
+
+    def test_minimum_one_segment_tahoe(self):
+        assert P.cut_ssthresh(TAHOE, MSS, 65535, MSS) == MSS
+
+    def test_rounding_none_keeps_exact_half(self):
+        from dataclasses import replace
+        exact = replace(RENO, ssthresh_rounding=SsthreshRounding.NONE)
+        assert P.cut_ssthresh(exact, 5 * MSS, 65535, MSS) == 5 * MSS // 2
+
+    def test_rounding_up(self):
+        from dataclasses import replace
+        up = replace(RENO, ssthresh_rounding=SsthreshRounding.UP_TO_MSS)
+        assert P.cut_ssthresh(up, 5 * MSS, 65535, MSS) == 3 * MSS
+
+    @given(st.integers(min_value=512, max_value=10**6),
+           st.integers(min_value=512, max_value=10**6))
+    def test_cut_never_below_floor(self, cwnd, offered):
+        cut = P.cut_ssthresh(RENO, cwnd, offered, MSS)
+        assert cut >= RENO.ssthresh_min_segments * MSS
+
+    @given(st.integers(min_value=4 * 512, max_value=10**6))
+    def test_cut_at_most_half_when_above_floor(self, cwnd):
+        cut = P.cut_ssthresh(RENO, cwnd, 10**9, MSS)
+        assert cut <= cwnd // 2
+
+
+class TestBehaviorLabels:
+    def test_label_with_version(self):
+        assert SOLARIS_23.label() == "solaris-2.3"
+
+    def test_label_without_version(self):
+        assert RENO.label() == "reno"
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            RENO.name = "other"

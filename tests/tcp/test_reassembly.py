@@ -1,0 +1,99 @@
+"""Receiver reassembly under arbitrary arrival orders (hypothesis).
+
+The receiver's out-of-order queue must deliver exactly the sent byte
+stream whatever order (and however duplicated) segments arrive — and
+its acks must never claim data it has not contiguously received.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harness.probing import Arrival, drive_receiver
+from repro.packets import SYN
+from repro.tcp.catalog import get_behavior
+from repro.units import seq_le
+
+MSS = 512
+SEGMENTS = 6
+
+
+def arrival_schedule(order, duplicates):
+    """Build a probe script delivering SEGMENTS segments in *order*,
+    with the indices in *duplicates* delivered twice."""
+    script = [Arrival(0.0, seq=0, flags=SYN, mss_option=MSS)]
+    time = 0.05
+    sequence = list(order) + [order[i] for i in sorted(duplicates)]
+    for index in sequence:
+        script.append(Arrival(time, seq=1 + index * MSS, payload=MSS))
+        time += 0.03
+    return script
+
+
+orders = st.permutations(range(SEGMENTS))
+duplicate_sets = st.sets(st.integers(min_value=0, max_value=SEGMENTS - 1),
+                         max_size=3)
+behaviors = st.sampled_from(["reno", "linux-1.0", "solaris-2.4",
+                             "sunos-4.1.3"])
+
+
+@given(orders, duplicate_sets, behaviors)
+@settings(max_examples=40, deadline=None)
+def test_final_ack_covers_everything(order, duplicates, label):
+    trace = drive_receiver(get_behavior(label),
+                           arrival_schedule(order, duplicates),
+                           duration=10.0)
+    acks = [r for r in trace
+            if r.src.addr == "receiver" and r.has_ack and not r.is_syn]
+    assert acks, "receiver never acked"
+    final = max(a.ack for a in acks)
+    assert final == 1 + SEGMENTS * MSS
+
+
+@given(orders, duplicate_sets, behaviors)
+@settings(max_examples=40, deadline=None)
+def test_acks_never_exceed_contiguous_data(order, duplicates, label):
+    script = arrival_schedule(order, duplicates)
+    trace = drive_receiver(get_behavior(label), script, duration=10.0)
+    # Replay arrivals to know the contiguous boundary at each instant.
+    arrivals = sorted(((a.at, a.seq, a.payload) for a in script[1:]),
+                      key=lambda x: x[0])
+
+    def contiguous_at(t):
+        received = set()
+        for at, seq, payload in arrivals:
+            if at <= t and payload:
+                received.add(seq)
+        boundary = 1
+        while boundary in received:
+            boundary += MSS
+        return boundary
+
+    for record in trace:
+        if record.src.addr == "receiver" and record.has_ack \
+                and not record.is_syn:
+            assert seq_le(record.ack, contiguous_at(record.timestamp)), (
+                f"ack {record.ack} at {record.timestamp} exceeds "
+                f"contiguous data")
+
+
+@given(orders, behaviors)
+@settings(max_examples=30, deadline=None)
+def test_out_of_order_arrivals_elicit_immediate_dup_acks(order, label):
+    """§7: any out-of-sequence arrival is a mandatory ack obligation."""
+    trace = drive_receiver(get_behavior(label),
+                           arrival_schedule(order, set()), duration=10.0)
+    records = trace.records
+    for i, record in enumerate(records):
+        if record.src.addr != "receiver" and record.payload > 0:
+            # find the receiver state: is this above a hole?
+            seen = {r.seq for r in records[:i]
+                    if r.src.addr != "receiver" and r.payload > 0}
+            boundary = 1
+            while boundary in seen:
+                boundary += MSS
+            if record.seq > boundary:
+                # must be acked within the response delay window
+                followers = [r for r in records[i + 1:i + 4]
+                             if r.src.addr == "receiver" and r.has_ack]
+                assert followers, "no ack after out-of-order arrival"
+                assert followers[0].timestamp - record.timestamp < 0.005

@@ -1,0 +1,208 @@
+"""Receiver acking policies, observed through traces (§9.1)."""
+
+import pytest
+
+from repro.netsim.link import DeterministicLoss
+from repro.tcp.catalog import get_behavior
+from repro.tcp.connection import run_bulk_transfer
+from repro.units import kbyte
+
+from tests.conftest import cached_transfer
+
+
+def outbound_acks(trace):
+    flow = trace.primary_flow()
+    reverse = flow.reversed()
+    return [r for r in trace
+            if r.flow == reverse and r.has_ack and not r.is_syn]
+
+
+def data_arrivals(trace):
+    flow = trace.primary_flow()
+    return [r for r in trace if r.flow == flow and r.payload > 0]
+
+
+class TestBSDHeartbeat:
+    def test_acks_roughly_every_two_segments(self):
+        trace = cached_transfer("reno").receiver_trace
+        acks = outbound_acks(trace)
+        arrivals = data_arrivals(trace)
+        # ~1 ack per 2 packets, plus handshake/FIN bookkeeping
+        assert len(arrivals) / 2.6 <= len(acks) <= len(arrivals) / 1.5
+
+    def test_delayed_ack_bounded_by_heartbeat(self):
+        trace = cached_transfer("reno").receiver_trace
+        acks = outbound_acks(trace)
+        arrivals = data_arrivals(trace)
+        for ack in acks:
+            prior = [a for a in arrivals if a.timestamp <= ack.timestamp]
+            if prior:
+                assert ack.timestamp - prior[-1].timestamp <= 0.210
+
+    def test_single_segment_gets_delayed_ack(self):
+        # One lone segment: only the heartbeat can ack it.
+        result = run_bulk_transfer(get_behavior("reno"), data_size=512)
+        assert result.completed
+
+
+class TestLinuxEveryPacket:
+    def test_one_ack_per_arrival(self):
+        trace = cached_transfer("linux-1.0").receiver_trace
+        acks = outbound_acks(trace)
+        arrivals = data_arrivals(trace)
+        # every data packet acked individually (+ FIN ack)
+        assert len(acks) >= len(arrivals)
+
+    def test_acks_generated_within_a_millisecond(self):
+        trace = cached_transfer("linux-1.0").receiver_trace
+        acks = outbound_acks(trace)
+        arrivals = data_arrivals(trace)
+        arrival_times = [a.timestamp for a in arrivals]
+        for ack in acks[1:-1]:
+            gap = min(abs(ack.timestamp - t) for t in arrival_times)
+            assert gap <= 0.001
+
+
+class TestSolarisIntervalTimer:
+    def test_two_segments_still_ack_normally_on_fast_link(self):
+        trace = cached_transfer("solaris-2.4", "wan").receiver_trace
+        acks = outbound_acks(trace)
+        arrivals = data_arrivals(trace)
+        assert len(acks) <= len(arrivals) * 0.7
+
+    def test_slow_link_acks_every_packet(self):
+        """§9.1: on a 56 kbit/s link two 512-byte packets cannot arrive
+        within 50 ms, so every in-sequence ack is a delayed ack."""
+        trace = cached_transfer("solaris-2.4", "modem-56k",
+                                data_size=20480).receiver_trace
+        acks = outbound_acks(trace)
+        arrivals = data_arrivals(trace)
+        assert len(acks) >= len(arrivals) * 0.95
+
+    def test_bsd_200ms_timer_acks_pairs_on_same_link(self):
+        """The contrast the paper draws: a 200 ms timer still lets
+        pairs accumulate at 56 kbit/s."""
+        trace = cached_transfer("reno", "modem-56k",
+                                data_size=20480).receiver_trace
+        acks = outbound_acks(trace)
+        arrivals = data_arrivals(trace)
+        assert len(acks) <= len(arrivals) * 0.7
+
+
+class TestOutOfSequence:
+    def test_dup_acks_on_hole(self):
+        result_trace = None
+        from repro.capture.filter import PacketFilter, attach_at_host
+        from repro.netsim.engine import Engine
+        from repro.netsim.network import build_path
+        engine = Engine()
+        path = build_path(engine,
+                          forward_loss=DeterministicLoss(drop_nth=[10]))
+        packet_filter = PacketFilter(vantage="receiver")
+        attach_at_host(path.receiver, packet_filter)
+        run_bulk_transfer(get_behavior("reno"), data_size=kbyte(30),
+                          path=path)
+        trace = packet_filter.trace()
+        acks = outbound_acks(trace)
+        values = [a.ack for a in acks]
+        # at least 3 consecutive identical acks (the dup-ack train)
+        runs = max(sum(1 for v in values[i:] if v == values[i])
+                   for i in range(len(values)))
+        assert runs >= 3
+
+    def test_hole_fill_acked_immediately_on_24(self):
+        assert _hole_fill_trace("solaris-2.4") < 0.010
+
+    def test_hole_fill_ack_delayed_on_23(self):
+        """§8.6: the minor 2.3 acking bug — when a hole fill advances
+        rcv_nxt by less than two full segments, 2.3 treats the ack as
+        optional (it waits for its 50 ms timer) while 2.4 acks at once."""
+        fast = _hole_fill_small_advance("solaris-2.4")
+        slow = _hole_fill_small_advance("solaris-2.3")
+        assert fast < 0.010
+        assert slow >= 0.045   # waited for the 50 ms interval timer
+        assert fast < slow
+
+
+def _hole_fill_trace(implementation: str) -> float:
+    """Time from retransmission arrival to the ack covering it."""
+    from repro.capture.filter import PacketFilter, attach_at_host
+    from repro.netsim.engine import Engine
+    from repro.netsim.network import build_path
+    from repro.units import seq_gt
+    engine = Engine()
+    path = build_path(engine, forward_loss=DeterministicLoss(drop_nth=[10]))
+    packet_filter = PacketFilter(vantage="receiver")
+    attach_at_host(path.receiver, packet_filter)
+    run_bulk_transfer(get_behavior(implementation), data_size=kbyte(30),
+                      path=path)
+    trace = packet_filter.trace()
+    flow = trace.primary_flow()
+    highest_end = None
+    for i, record in enumerate(trace.records):
+        if record.flow == flow and record.payload > 0:
+            if highest_end is not None and seq_gt(highest_end, record.seq):
+                # the hole-filling retransmission arrival; find the ack
+                # advancing past it
+                for later in trace.records[i + 1:]:
+                    if (later.flow == flow.reversed() and later.has_ack
+                            and seq_gt(later.ack, record.seq)):
+                        return later.timestamp - record.timestamp
+            if highest_end is None or seq_gt(record.seq_end, highest_end):
+                highest_end = record.seq_end
+    raise AssertionError("no retransmission found in trace")
+
+
+def _hole_fill_small_advance(implementation: str) -> float:
+    """Hand-drive a receiver: in-sequence, a short out-of-order
+    fragment, then the hole fill (advance < 2 MSS).  Returns the time
+    from the hole-filling arrival to the covering ack."""
+    from repro.netsim.engine import Engine
+    from repro.netsim.node import Host
+    from repro.packets import ACK, SYN, Endpoint, Segment
+    from repro.tcp.receiver import TCPReceiver
+    from repro.units import seq_gt
+
+    engine = Engine()
+    host = Host(engine, "rcv")
+    acks = []
+    host.send = lambda segment: acks.append((engine.now, segment))
+    local = Endpoint("rcv", 80)
+    remote = Endpoint("snd", 1024)
+    receiver = TCPReceiver(engine, host, get_behavior(implementation),
+                           local, remote, mss=512)
+    receiver.listen()
+
+    def arrives(delay, **kwargs):
+        segment = Segment(src=remote, dst=local, **kwargs)
+        engine.schedule(delay, lambda: receiver.receive(segment))
+
+    arrives(0.0, seq=0, ack=0, flags=SYN, mss_option=512)
+    arrives(0.1, seq=1, ack=1, flags=ACK, payload=512)       # in sequence
+    arrives(0.2, seq=1025, ack=1, flags=ACK, payload=300)    # above a hole
+    arrives(0.3, seq=513, ack=1, flags=ACK, payload=512)     # fills it
+    engine.run(until=1.0)
+    covering = [t for t, segment in acks
+                if segment.has_ack and seq_gt(segment.ack, 513)]
+    assert covering, f"no covering ack from {implementation}"
+    return covering[0] - 0.3
+
+
+class TestWindowAndConsumption:
+    def test_window_constant_with_instant_consumption(self):
+        trace = cached_transfer("reno").receiver_trace
+        acks = outbound_acks(trace)
+        assert len({a.window for a in acks}) == 1
+
+    def test_slow_consumer_shrinks_window(self):
+        result = run_bulk_transfer(get_behavior("reno"),
+                                   data_size=kbyte(50),
+                                   receiver_buffer=8192,
+                                   consume_rate=20000.0)
+        assert result.completed
+
+    def test_slow_consumer_limits_throughput(self):
+        fast = run_bulk_transfer(get_behavior("reno"), data_size=kbyte(50))
+        slow = run_bulk_transfer(get_behavior("reno"), data_size=kbyte(50),
+                                 receiver_buffer=8192, consume_rate=20000.0)
+        assert slow.duration > fast.duration

@@ -1,0 +1,239 @@
+"""Sender stack behavior, observed through its packet traces."""
+
+import pytest
+
+from repro.harness.scenarios import traced_transfer
+from repro.netsim.link import DeterministicLoss
+from repro.tcp.catalog import get_behavior
+from repro.tcp.connection import run_bulk_transfer
+from repro.units import kbyte, seq_diff
+
+from tests.conftest import cached_transfer
+
+
+def data_records(trace):
+    flow = trace.primary_flow()
+    return [r for r in trace if r.flow == flow and r.payload > 0]
+
+
+class TestHandshake:
+    def test_syn_carries_mss_option(self):
+        trace = cached_transfer("reno").sender_trace
+        syn = trace.records[0]
+        assert syn.is_syn and not syn.has_ack
+        assert syn.mss_option == 512
+
+    def test_negotiated_mss_bounds_segments(self):
+        trace = cached_transfer("reno").sender_trace
+        assert all(r.payload <= 512 for r in data_records(trace))
+
+    def test_syn_retransmitted_on_silence(self):
+        # A receiver that never answers: the SYN should be retried with
+        # backoff, then the connection abandoned.
+        from repro.netsim.engine import Engine
+        from repro.netsim.network import build_path
+        from repro.packets import Endpoint
+        from repro.tcp.sender import TCPSender
+        engine = Engine()
+        path = build_path(engine)
+        sender = TCPSender(engine, path.sender, get_behavior("reno"),
+                           Endpoint("sender", 1024),
+                           Endpoint("receiver", 9000), data_size=1024)
+        syns = []
+        path.sender.send_taps.append(lambda s, t: syns.append(t))
+        sender.open()
+        engine.run(until=600)
+        assert len(syns) >= 4                 # initial + retries
+        assert sender.state == "CLOSED_DONE"  # gave up eventually
+        gaps = [b - a for a, b in zip(syns, syns[1:])]
+        assert all(later > earlier for earlier, later in zip(gaps, gaps[1:]))
+
+
+class TestSlowStart:
+    def test_first_flight_is_one_segment(self):
+        trace = cached_transfer("reno").sender_trace
+        records = data_records(trace)
+        first_burst = [r for r in records
+                       if r.timestamp - records[0].timestamp < 0.01]
+        assert len(first_burst) == 1
+
+    def test_window_grows_exponentially_initially(self):
+        result = cached_transfer("reno").result
+        # completing 100 packets in ~13 round trips implies doubling
+        rtt = 0.071
+        assert result.duration < 20 * rtt
+
+    def test_linux10_initial_ssthresh_cripples_growth(self):
+        """§8.5: initializing ssthresh to one MSS 'considerably
+        impedes performance' — Linux leaves slow start immediately."""
+        linux = cached_transfer("linux-1.0", "wan").result
+        reno = cached_transfer("reno", "wan").result
+        assert linux.duration > reno.duration
+
+
+class TestCompletion:
+    @pytest.mark.parametrize("implementation", [
+        "reno", "tahoe", "net3", "sunos-4.1.3", "linux-1.0",
+        "solaris-2.4", "trumpet-2.0b", "windows-95", "linux-2.0.30",
+    ])
+    def test_transfer_completes(self, implementation):
+        result = cached_transfer(implementation, "wan").result
+        assert result.completed
+
+    @pytest.mark.parametrize("implementation",
+                             ["reno", "linux-1.0", "solaris-2.4"])
+    def test_transfer_completes_under_loss(self, implementation):
+        result = cached_transfer(implementation, "wan-lossy", seed=1).result
+        assert result.completed
+
+    def test_receiver_gets_every_byte(self):
+        transfer = cached_transfer("reno", "wan-lossy", seed=2)
+        assert transfer.result.receiver.stats_data_received == 51200
+
+    def test_fin_ends_connection(self):
+        trace = cached_transfer("reno").sender_trace
+        flow = trace.primary_flow()
+        assert any(r.is_fin for r in trace if r.flow == flow)
+
+
+class TestRetransmission:
+    def test_fast_retransmit_after_three_dups(self):
+        # Drop one mid-stream packet; Reno should recover without a
+        # timeout (fast retransmit), Tahoe with a window collapse.
+        result = run_bulk_transfer(
+            get_behavior("reno"), data_size=kbyte(50),
+            forward_loss=DeterministicLoss(drop_nth=[20]))
+        assert result.completed
+        assert result.sender.stats_fast_retransmits == 1
+        assert result.sender.stats_timeouts == 0
+
+    def test_tahoe_recovers_from_same_loss(self):
+        result = run_bulk_transfer(
+            get_behavior("tahoe"), data_size=kbyte(50),
+            forward_loss=DeterministicLoss(drop_nth=[20]))
+        assert result.completed
+        assert result.sender.stats_fast_retransmits == 1
+
+    def test_tahoe_resends_more_than_reno_after_loss(self):
+        """Fast recovery's point: Reno does not go back to slow start."""
+        reno = run_bulk_transfer(
+            get_behavior("reno"), data_size=kbyte(50),
+            forward_loss=DeterministicLoss(drop_nth=[20]))
+        tahoe = run_bulk_transfer(
+            get_behavior("tahoe"), data_size=kbyte(50),
+            forward_loss=DeterministicLoss(drop_nth=[20]))
+        assert (tahoe.sender.stats_retransmissions
+                >= reno.sender.stats_retransmissions)
+
+    def test_timeout_when_no_dup_acks_possible(self):
+        # Drop the very last data packet: no further data elicits dups,
+        # so recovery must come from the retransmission timer.
+        result = run_bulk_transfer(
+            get_behavior("reno"), data_size=kbyte(10),
+            forward_loss=DeterministicLoss(drop_nth=[21]))
+        assert result.completed
+        assert result.sender.stats_timeouts >= 1
+
+    def test_linux10_flight_retransmission_storm(self):
+        """§8.5: Linux 1.0 re-sends entire flights; under the same loss
+        it retransmits far more than Reno."""
+        linux = cached_transfer("linux-1.0", "wan-lossy", seed=3).result
+        reno = cached_transfer("reno", "wan-lossy", seed=3).result
+        assert (linux.sender.stats_retransmissions
+                > 5 * max(reno.sender.stats_retransmissions, 1))
+
+    def test_solaris_premature_retransmissions_at_high_rtt(self):
+        """§8.6 / Figure 5: on a 680 ms path every early packet is
+        retransmitted needlessly; load roughly doubles."""
+        solaris = cached_transfer("solaris-2.4", "transatlantic").result
+        reno = cached_transfer("reno", "transatlantic").result
+        assert reno.sender.stats_retransmissions == 0
+        assert solaris.sender.stats_retransmissions >= 30
+        ratio = (solaris.sender.stats_data_packets
+                 / reno.sender.stats_data_packets)
+        assert ratio >= 1.3
+
+    def test_no_retransmissions_on_clean_path(self):
+        for implementation in ("reno", "tahoe", "linux-1.0"):
+            result = cached_transfer(implementation, "wan").result
+            assert result.sender.stats_retransmissions == 0
+
+
+class TestNet3Bug:
+    """§8.4: SYN-ack without an MSS option leaves cwnd huge."""
+
+    def test_burst_fills_offered_window_immediately(self):
+        behavior = get_behavior("net3")
+        plain_receiver = get_behavior("reno")
+        from dataclasses import replace
+        no_option = replace(plain_receiver, offers_mss_option=False)
+        result = run_bulk_transfer(behavior, no_option,
+                                   data_size=kbyte(50),
+                                   receiver_buffer=16384)
+        trace_burst = result.sender.stats_data_packets
+        # The first flight should be ~16384/536 = 30 packets (Figure 3).
+        assert result.completed
+
+    def test_first_flight_counts(self):
+        from repro.capture.filter import PacketFilter, attach_at_host
+        from repro.netsim.engine import Engine
+        from repro.netsim.network import build_path
+        from dataclasses import replace
+        engine = Engine()
+        path = build_path(engine)
+        packet_filter = PacketFilter(vantage="sender")
+        attach_at_host(path.sender, packet_filter)
+        no_option = replace(get_behavior("reno"), offers_mss_option=False)
+        run_bulk_transfer(get_behavior("net3"), no_option,
+                          data_size=kbyte(50), receiver_buffer=16384,
+                          path=path)
+        trace = packet_filter.trace()
+        records = data_records(trace)
+        burst = [r for r in records
+                 if r.timestamp - records[0].timestamp < 0.005]
+        assert len(burst) >= 25   # ~30 packets blasted at once
+
+    def test_no_burst_when_mss_option_offered(self):
+        from repro.capture.filter import PacketFilter, attach_at_host
+        from repro.netsim.engine import Engine
+        from repro.netsim.network import build_path
+        engine = Engine()
+        path = build_path(engine)
+        packet_filter = PacketFilter(vantage="sender")
+        attach_at_host(path.sender, packet_filter)
+        run_bulk_transfer(get_behavior("net3"), get_behavior("reno"),
+                          data_size=kbyte(50), receiver_buffer=16384,
+                          path=path)
+        records = data_records(packet_filter.trace())
+        burst = [r for r in records
+                 if r.timestamp - records[0].timestamp < 0.005]
+        assert len(burst) == 1
+
+
+class TestSenderWindow:
+    def test_sender_window_caps_flight(self):
+        transfer = cached_transfer("reno", "wan", sender_window=4096)
+        trace = transfer.sender_trace
+        flow = trace.primary_flow()
+        highest_ack = 1
+        max_flight = 0
+        for record in trace:
+            if record.flow == flow and record.payload > 0:
+                max_flight = max(max_flight,
+                                 seq_diff(record.seq_end, highest_ack))
+            elif record.flow == flow.reversed() and record.has_ack:
+                highest_ack = max(highest_ack, record.ack)
+        assert max_flight <= 4096
+
+
+class TestSourceQuench:
+    def test_bsd_quench_triggers_slow_start(self):
+        transfer = traced_transfer(get_behavior("reno"), "wan",
+                                   data_size=kbyte(100), quench_threshold=4)
+        assert transfer.result.sender.stats_quenches_seen >= 1
+        assert transfer.result.completed
+
+    def test_linux_quench_only_decrements(self):
+        transfer = traced_transfer(get_behavior("linux-1.0"), "wan",
+                                   data_size=kbyte(100), quench_threshold=4)
+        assert transfer.result.completed

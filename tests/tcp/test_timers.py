@@ -1,0 +1,119 @@
+"""RTO estimator families (§8.5, §8.6)."""
+
+import pytest
+
+from repro.tcp.catalog import LINUX_10, RENO, SOLARIS_23, TRUMPET
+from repro.tcp.timers import (
+    JacobsonEstimator,
+    Linux10Estimator,
+    SolarisEstimator,
+    TrumpetEstimator,
+    make_estimator,
+)
+
+
+class TestFactory:
+    def test_styles_map_to_classes(self):
+        assert isinstance(make_estimator(RENO), JacobsonEstimator)
+        assert isinstance(make_estimator(SOLARIS_23), SolarisEstimator)
+        assert isinstance(make_estimator(LINUX_10), Linux10Estimator)
+        assert isinstance(make_estimator(TRUMPET), TrumpetEstimator)
+
+
+class TestJacobson:
+    def test_initial_rto(self):
+        estimator = JacobsonEstimator(RENO)
+        assert estimator.rto() == RENO.initial_rto
+
+    def test_adapts_to_samples(self):
+        estimator = JacobsonEstimator(RENO)
+        for _ in range(20):
+            estimator.sample(0.5)
+        # srtt converges to 0.5; rttvar decays; min_rto floor may bind
+        assert 0.5 <= estimator.rto() <= 1.5
+
+    def test_covers_rtt_with_variance(self):
+        estimator = JacobsonEstimator(RENO)
+        for rtt in [0.2, 0.4, 0.2, 0.4, 0.3] * 4:
+            estimator.sample(rtt)
+        assert estimator.rto() > 0.4  # srtt + 4*rttvar covers the spread
+
+    def test_karn_discards_retransmitted_samples(self):
+        estimator = JacobsonEstimator(RENO)
+        estimator.sample(0.5)
+        before = estimator.rto()
+        estimator.sample(10.0, for_retransmitted=True)
+        assert estimator.rto() == before
+
+    def test_backoff_doubles(self):
+        estimator = JacobsonEstimator(RENO)
+        base = estimator.rto()
+        estimator.back_off()
+        assert estimator.rto() == pytest.approx(min(base * 2, 64.0))
+
+    def test_backoff_capped_at_max(self):
+        estimator = JacobsonEstimator(RENO)
+        for _ in range(20):
+            estimator.back_off()
+        assert estimator.rto() == RENO.max_rto
+
+    def test_reset_backoff(self):
+        estimator = JacobsonEstimator(RENO)
+        estimator.back_off()
+        estimator.reset_backoff()
+        assert estimator.rto() == RENO.initial_rto
+
+
+class TestSolaris:
+    def test_starts_low(self):
+        estimator = SolarisEstimator(SOLARIS_23)
+        assert estimator.rto() == pytest.approx(0.3)
+
+    def test_adaptation_is_sluggish(self):
+        estimator = SolarisEstimator(SOLARIS_23)
+        estimator.sample(0.68)
+        # One sample moves it only 1/8 of the way: nowhere near 680 ms.
+        assert estimator.rto() < 0.4
+
+    def test_collapses_on_rexmit_ack(self):
+        estimator = SolarisEstimator(SOLARIS_23)
+        for _ in range(50):
+            estimator.sample(0.68)
+        adapted = estimator.rto()
+        assert adapted > 0.5
+        estimator.sample(0.0, for_retransmitted=True)
+        assert estimator.rto() == pytest.approx(SOLARIS_23.initial_rto)
+        assert estimator.rto() < adapted
+
+    def test_premature_on_long_rtt_path(self):
+        # The §8.6 pathology: RTO stays below a 680 ms path RTT because
+        # every retransmission ack collapses it.
+        estimator = SolarisEstimator(SOLARIS_23)
+        for _ in range(30):
+            estimator.sample(0.68)                       # one good sample
+            estimator.sample(0.0, for_retransmitted=True)  # then a collapse
+        assert estimator.rto() < 0.68
+
+
+class TestLinux10:
+    def test_no_variance_term_fires_early(self):
+        estimator = Linux10Estimator(LINUX_10)
+        for rtt in [0.2, 0.5, 0.2, 0.5] * 5:
+            estimator.sample(rtt)
+        # Mean ~0.35 * 1.125 < the 0.5s peaks: premature retransmission.
+        assert estimator.rto() < 0.5
+
+    def test_weak_backoff(self):
+        estimator = Linux10Estimator(LINUX_10)
+        estimator.sample(1.0)
+        base = estimator.rto()
+        estimator.back_off()
+        assert estimator.rto() == pytest.approx(base * 1.5)  # not doubling
+
+
+class TestTrumpet:
+    def test_never_adapts(self):
+        estimator = TrumpetEstimator(TRUMPET)
+        for _ in range(100):
+            estimator.sample(5.0)
+        assert estimator.rto() == pytest.approx(TRUMPET.initial_rto)

@@ -1,0 +1,144 @@
+"""The tcpanaly command-line front end."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def pcap_pair(tmp_path):
+    """Simulate once, return (sender_pcap, receiver_pcap) paths."""
+    out = tmp_path / "transfer"
+    code = main(["simulate", "reno", "--scenario", "wan",
+                 "--size", "20480", "--out", str(out)])
+    assert code == 0
+    return f"{out}-sender.pcap", f"{out}-receiver.pcap"
+
+
+class TestSimulate:
+    def test_writes_both_pcaps(self, pcap_pair, capsys):
+        sender, receiver = pcap_pair
+        from pathlib import Path
+        assert Path(sender).exists() and Path(receiver).exists()
+
+    def test_reports_summary(self, tmp_path, capsys):
+        main(["simulate", "linux-1.0", "--scenario", "wan-lossy",
+              "--size", "20480", "--out", str(tmp_path / "x")])
+        out = capsys.readouterr().out
+        assert "completed" in out
+        assert "retransmissions" in out
+
+    def test_unknown_implementation_raises(self, tmp_path):
+        with pytest.raises(KeyError):
+            main(["simulate", "nosuch-1.0", "--out", str(tmp_path / "x")])
+
+
+class TestAnalyze:
+    def test_analyze_with_implementation(self, pcap_pair, capsys):
+        sender, receiver = pcap_pair
+        code = main(["analyze", sender, "-i", "reno", "--peer", receiver])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 violations" in out
+        assert "measurement calibration" in out
+
+    def test_analyze_receiver_side(self, pcap_pair, capsys):
+        _, receiver = pcap_pair
+        code = main(["analyze", receiver, "-i", "reno"])
+        assert code == 0
+        assert "receiver behavior" in capsys.readouterr().out
+
+    def test_analyze_without_implementation(self, pcap_pair, capsys):
+        sender, _ = pcap_pair
+        assert main(["analyze", sender]) == 0
+
+
+class TestIdentify:
+    def test_identify_ranks_candidates(self, pcap_pair, capsys):
+        sender, _ = pcap_pair
+        code = main(["identify", sender])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "reno" in out
+        assert "close" in out
+
+
+class TestListAndPlot:
+    def test_list_shows_catalog(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "solaris-2.4" in out
+        assert "transatlantic" in out
+
+    def test_plot_renders(self, pcap_pair, capsys):
+        sender, _ = pcap_pair
+        assert main(["plot", sender]) == 0
+        out = capsys.readouterr().out
+        assert "#" in out and "o" in out
+
+
+class TestCalibrateCommand:
+    def test_clean_trace_verdict(self, pcap_pair, capsys):
+        sender, receiver = pcap_pair
+        code = main(["calibrate", sender, "-i", "reno",
+                     "--peer", receiver])
+        assert code == 0
+        assert "no measurement errors" in capsys.readouterr().out
+
+    def test_defective_trace_nonzero_exit(self, tmp_path, capsys):
+        from repro.capture.clock import SteppingClock
+        from repro.capture.filter import PacketFilter
+        from repro.harness.scenarios import traced_transfer
+        from repro.tcp.catalog import get_behavior
+        from repro.trace.pcap import write_pcap
+        packet_filter = PacketFilter(
+            vantage="sender",
+            clock=SteppingClock(steps=[(0.5, -0.1), (0.9, -0.1)]))
+        transfer = traced_transfer(get_behavior("reno"), "wan",
+                                   data_size=40960,
+                                   sender_filter=packet_filter)
+        path = tmp_path / "bad.pcap"
+        write_pcap(transfer.sender_trace, path)
+        code = main(["calibrate", str(path), "-i", "reno"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "time travel" in out
+
+
+class TestCorpusCommand:
+    def test_writes_trace_pairs(self, tmp_path, capsys):
+        code = main(["corpus", str(tmp_path / "corpus"),
+                     "--per-implementation", "1", "--size", "10240"])
+        assert code == 0
+        from repro.tcp.catalog import CORE_STUDY
+        pcaps = list((tmp_path / "corpus").glob("*.pcap"))
+        assert len(pcaps) == 2 * len(CORE_STUDY)
+
+    def test_corpus_traces_readable(self, tmp_path):
+        main(["corpus", str(tmp_path / "corpus"),
+              "--per-implementation", "1", "--size", "10240"])
+        from repro.trace.pcap import read_pcap
+        pcap = next((tmp_path / "corpus").glob("reno*-sender.pcap"), None)
+        if pcap is None:   # reno itself is not in CORE_STUDY; any works
+            pcap = next((tmp_path / "corpus").glob("*-sender.pcap"))
+        trace = read_pcap(pcap)
+        assert len(trace) > 0
+
+
+class TestStatsCommand:
+    def test_reports_connection_numbers(self, pcap_pair, capsys):
+        sender, _ = pcap_pair
+        assert main(["stats", sender]) == 0
+        out = capsys.readouterr().out
+        assert "1 connection(s)" in out
+        assert "20480 unique bytes" in out
+        assert "rtt" in out
+
+
+class TestIdentifyReceiver:
+    def test_receiver_mode_ranks_policies(self, pcap_pair, capsys):
+        _, receiver = pcap_pair
+        assert main(["identify", receiver, "--receiver"]) == 0
+        out = capsys.readouterr().out
+        assert "acking-policy close fits" in out
+        assert "reno" in out

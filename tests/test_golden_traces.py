@@ -1,0 +1,79 @@
+"""Golden-trace regression (the paper's §5 discipline).
+
+"Experience has shown the importance of regression testing against the
+entire set of available traces, any time a change is made to the
+implementation behavior."  These fixtures pin the exact wire behavior
+of representative stacks on representative paths; any change to the
+simulator, the stacks, or the timers that alters a single packet or
+timestamp fails here.
+
+If a change is *intended* to alter wire behavior, regenerate with:
+
+    python -c "import tests.test_golden_traces as g; g.regenerate()"
+
+and review the diff like any behavioral change.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.harness.scenarios import traced_transfer
+from repro.tcp.catalog import get_behavior
+from repro.trace.text import parse_trace, render_trace
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+CASES = [
+    ("reno", "wan", 20480, 0),
+    ("tahoe", "wan-lossy", 20480, 1),
+    ("solaris-2.4", "transatlantic", 20480, 0),
+    ("linux-1.0", "wan-lossy", 20480, 1),
+    ("net3", "lan", 10240, 0),
+]
+
+
+def fixture_path(label, scenario, size, seed) -> pathlib.Path:
+    return FIXTURES / f"{label}_{scenario}_{size}_{seed}.txt"
+
+
+def current_text(label, scenario, size, seed) -> str:
+    transfer = traced_transfer(get_behavior(label), scenario,
+                               data_size=size, seed=seed)
+    return render_trace(transfer.sender_trace, relative_time=False)
+
+
+def regenerate() -> None:
+    FIXTURES.mkdir(exist_ok=True)
+    for case in CASES:
+        fixture_path(*case).write_text(current_text(*case))
+
+
+@pytest.mark.parametrize("case", CASES,
+                         ids=["-".join(str(part) for part in c)
+                              for c in CASES])
+def test_trace_matches_golden_fixture(case):
+    expected = fixture_path(*case).read_text()
+    actual = current_text(*case)
+    if actual != expected:
+        expected_lines = expected.splitlines()
+        actual_lines = actual.splitlines()
+        for index, (a, b) in enumerate(zip(expected_lines, actual_lines)):
+            assert a == b, (f"first divergence at record {index}:\n"
+                            f"  golden: {a}\n  actual: {b}")
+        assert len(actual_lines) == len(expected_lines), (
+            f"record count changed: {len(expected_lines)} -> "
+            f"{len(actual_lines)}")
+
+
+@pytest.mark.parametrize("case", CASES,
+                         ids=["-".join(str(part) for part in c)
+                              for c in CASES])
+def test_golden_fixture_parses_and_analyzes(case):
+    """The stored fixtures themselves stay analyzable (guards against
+    fixture rot and parser drift)."""
+    from repro.core import analyze_sender
+    label = case[0]
+    trace = parse_trace(fixture_path(*case).read_text(), vantage="sender")
+    analysis = analyze_sender(trace, get_behavior(label))
+    assert analysis.violation_count == 0

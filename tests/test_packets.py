@@ -1,0 +1,92 @@
+"""Segment and flow-key behavior."""
+
+from repro.packets import (
+    ACK,
+    FIN,
+    PSH,
+    SYN,
+    Endpoint,
+    FlowKey,
+    Segment,
+    flags_to_string,
+)
+
+A = Endpoint("a", 1000)
+B = Endpoint("b", 2000)
+
+
+def make_segment(**kwargs) -> Segment:
+    defaults = dict(src=A, dst=B, seq=100, ack=0, flags=ACK, payload=512)
+    defaults.update(kwargs)
+    return Segment(**defaults)
+
+
+class TestFlags:
+    def test_syn_renders(self):
+        assert flags_to_string(SYN) == "S"
+
+    def test_synack_renders(self):
+        assert flags_to_string(SYN | ACK) == "S."
+
+    def test_pure_ack_renders_dot(self):
+        assert flags_to_string(ACK) == "."
+
+    def test_no_flags_renders_dash(self):
+        assert flags_to_string(0) == "-"
+
+    def test_push_fin(self):
+        assert flags_to_string(FIN | PSH | ACK) == "FP."
+
+
+class TestFlowKey:
+    def test_reversed_swaps(self):
+        key = FlowKey(A, B)
+        assert key.reversed() == FlowKey(B, A)
+
+    def test_reversed_twice_is_identity(self):
+        key = FlowKey(A, B)
+        assert key.reversed().reversed() == key
+
+    def test_str(self):
+        assert str(FlowKey(A, B)) == "a.1000 > b.2000"
+
+
+class TestSegment:
+    def test_seq_end_counts_payload(self):
+        assert make_segment(seq=100, payload=512).seq_end == 612
+
+    def test_syn_consumes_sequence_space(self):
+        assert make_segment(flags=SYN, payload=0).seq_end == 101
+
+    def test_fin_consumes_sequence_space(self):
+        assert make_segment(flags=FIN | ACK, payload=100).seq_end == 201
+
+    def test_seq_end_wraps(self):
+        segment = make_segment(seq=2**32 - 100, payload=512)
+        assert segment.seq_end == 412
+
+    def test_wire_size_includes_headers(self):
+        assert make_segment(payload=512).wire_size == 552
+
+    def test_wire_size_counts_mss_option(self):
+        assert make_segment(payload=0, mss_option=512).wire_size == 44
+
+    def test_copy_gets_fresh_packet_id(self):
+        segment = make_segment()
+        assert segment.copy().packet_id != segment.packet_id
+
+    def test_copy_preserves_fields(self):
+        segment = make_segment(seq=777, payload=99)
+        duplicate = segment.copy()
+        assert (duplicate.seq, duplicate.payload) == (777, 99)
+
+    def test_distinct_segments_have_distinct_ids(self):
+        assert make_segment().packet_id != make_segment().packet_id
+
+    def test_flag_properties(self):
+        segment = make_segment(flags=SYN | ACK)
+        assert segment.is_syn and segment.has_ack
+        assert not segment.is_fin and not segment.is_rst
+
+    def test_flow_property(self):
+        assert make_segment().flow == FlowKey(A, B)

@@ -1,0 +1,170 @@
+"""Property-based tests on core invariants (hypothesis).
+
+These go beyond the module-level round-trip properties: they drive the
+window ledger, the engine, and the trace machinery with generated
+inputs and check structural invariants that every execution must hold.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sender.windows import WindowLedger
+from repro.netsim.engine import Engine
+from repro.tcp import params as P
+from repro.tcp.catalog import CATALOG
+from repro.trace.text import parse_line, render_record
+from repro.trace.wire import AddressMap, decode_packet, encode_record
+from repro.units import SEQ_SPACE, seq_le
+
+
+# --- window ledger ---------------------------------------------------------
+
+ledger_ops = st.lists(
+    st.tuples(st.sampled_from(["advance", "shrink"]),
+              st.integers(min_value=0, max_value=100_000)),
+    max_size=60)
+
+
+@given(ledger_ops)
+def test_ledger_entries_strictly_increasing(operations):
+    ledger = WindowLedger(0.0, 1000)
+    for i, (op, value) in enumerate(operations):
+        if op == "advance":
+            ledger.advance(float(i), value)
+        else:
+            ledger.shrink(value)
+        highs = [e.high for e in ledger._entries]
+        times = [e.time for e in ledger._entries]
+        assert all(seq_le(a, b) and a != b
+                   for a, b in zip(highs, highs[1:])), highs
+        assert times == sorted(times)
+
+
+@given(ledger_ops, st.integers(min_value=0, max_value=100_000))
+def test_ledger_permissible_consistent_with_current_high(operations, probe):
+    ledger = WindowLedger(0.0, 1000)
+    for i, (op, value) in enumerate(operations):
+        if op == "advance":
+            ledger.advance(float(i), value)
+        else:
+            ledger.shrink(value)
+    since = ledger.permissible_since(probe)
+    if seq_le(probe, ledger.current_high):
+        assert since is not None
+    else:
+        assert since is None
+
+
+@given(st.lists(st.integers(min_value=1000, max_value=100_000), min_size=1,
+                max_size=30))
+def test_ledger_advance_times_monotone_in_seq(highs):
+    ledger = WindowLedger(0.0, 500)
+    for i, high in enumerate(highs):
+        ledger.advance(float(i + 1), high)
+    # Later (higher) sequence numbers never become permissible earlier
+    # than lower ones.
+    probes = sorted({h for h in highs if seq_le(h, ledger.current_high)})
+    times = [ledger.permissible_since(p) for p in probes]
+    assert times == sorted(times)
+
+
+# --- engine ----------------------------------------------------------------
+
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0,
+                          allow_nan=False), max_size=50))
+def test_engine_executes_all_events_in_order(delays):
+    engine = Engine()
+    executed = []
+    for delay in delays:
+        engine.schedule(delay, lambda d=delay: executed.append(engine.now))
+    engine.run()
+    assert len(executed) == len(delays)
+    assert executed == sorted(executed)
+    assert sorted(executed) == sorted(delays)
+
+
+# --- congestion arithmetic across the whole catalog --------------------------
+
+@given(st.sampled_from(sorted(CATALOG)),
+       st.integers(min_value=512, max_value=65535),
+       st.integers(min_value=512, max_value=65535))
+def test_cut_ssthresh_bounds_hold_for_all_implementations(label, cwnd,
+                                                          offered):
+    behavior = CATALOG[label]
+    mss = 512
+    cut = P.cut_ssthresh(behavior, cwnd, offered, mss)
+    assert cut >= behavior.ssthresh_min_segments * mss
+    assert cut <= max(min(cwnd, offered) // 2 + mss,
+                      behavior.ssthresh_min_segments * mss)
+
+
+@given(st.sampled_from(sorted(CATALOG)),
+       st.integers(min_value=512, max_value=65535))
+def test_increase_cwnd_monotone_for_all_implementations(label, cwnd):
+    behavior = CATALOG[label]
+    new = P.increase_cwnd(behavior, cwnd, 2**30, 512, 2**30)
+    assert new > cwnd
+    new_ca = P.increase_cwnd(behavior, cwnd, 512, 512, 2**30)
+    assert new_ca > cwnd
+    # Slow start grows at least as fast as congestion avoidance.
+    assert new - cwnd >= new_ca - cwnd or cwnd < 512 * 2
+
+
+# --- wire format under generated records -------------------------------------
+
+record_strategy = st.builds(
+    dict,
+    seq=st.integers(min_value=0, max_value=SEQ_SPACE - 1),
+    ack=st.integers(min_value=0, max_value=SEQ_SPACE - 1),
+    payload=st.integers(min_value=0, max_value=1460),
+    window=st.integers(min_value=0, max_value=65535),
+    corrupted=st.booleans(),
+    mss=st.one_of(st.none(), st.integers(min_value=64, max_value=65535)),
+)
+
+
+@given(record_strategy)
+@settings(max_examples=60)
+def test_wire_roundtrip_and_checksum_property(fields):
+    from repro.packets import ACK, Endpoint
+    from repro.trace.record import TraceRecord
+    record = TraceRecord(
+        timestamp=0.0, src=Endpoint("a", 1), dst=Endpoint("b", 2),
+        seq=fields["seq"], ack=fields["ack"], flags=ACK,
+        payload=fields["payload"], window=fields["window"],
+        mss_option=fields["mss"], corrupted=fields["corrupted"])
+    addresses = AddressMap()
+    decoded = decode_packet(encode_record(record, addresses), 0.0, addresses)
+    assert decoded.corrupted == fields["corrupted"]
+    assert decoded.seq == fields["seq"]
+    assert decoded.payload == fields["payload"]
+    # Text format agrees with the wire format on the same record.
+    parsed = parse_line(render_record(record))
+    assert parsed.seq == decoded.seq
+    assert parsed.payload == decoded.payload
+
+
+# --- simulated transfers hold TCP invariants ---------------------------------
+
+@given(st.sampled_from(["reno", "tahoe", "linux-1.0", "solaris-2.4",
+                        "sunos-4.1.3"]),
+       st.integers(min_value=0, max_value=5))
+@settings(max_examples=12, deadline=None)
+def test_transfer_trace_invariants(label, seed):
+    from tests.conftest import cached_transfer
+    transfer = cached_transfer(label, "wan-lossy", data_size=20480,
+                               seed=seed)
+    trace = transfer.sender_trace
+    flow = trace.primary_flow()
+    # Invariant 1: receiver acks are monotone non-decreasing.
+    acks = [r.ack for r in trace
+            if r.flow == flow.reversed() and r.has_ack and not r.is_syn]
+    assert all(seq_le(a, b) for a, b in zip(acks, acks[1:]))
+    # Invariant 2: acks never exceed data sent.
+    highest = max(r.seq_end for r in trace if r.flow == flow)
+    assert all(seq_le(a, highest) for a in acks)
+    # Invariant 3: timestamps monotone (perfect filter).
+    times = [r.timestamp for r in trace]
+    assert times == sorted(times)
+    # Invariant 4: every byte below the final ack was sent at least once.
+    assert transfer.result.receiver.stats_data_received == 20480

@@ -1,0 +1,105 @@
+"""pcap container round-trips."""
+
+import struct
+
+import pytest
+
+from repro.trace.pcap import read_pcap, write_pcap
+from repro.trace.wire import AddressMap
+
+from tests.conftest import cached_transfer
+
+
+@pytest.fixture
+def wan_trace():
+    return cached_transfer("reno").sender_trace
+
+
+class TestRoundTrip:
+    def test_record_count_preserved(self, wan_trace, tmp_path):
+        path = tmp_path / "trace.pcap"
+        write_pcap(wan_trace, path)
+        assert len(read_pcap(path)) == len(wan_trace)
+
+    def test_headers_preserved(self, wan_trace, tmp_path):
+        path = tmp_path / "trace.pcap"
+        addresses = AddressMap()
+        write_pcap(wan_trace, path, addresses=addresses)
+        loaded = read_pcap(path, addresses=addresses)
+        for original, decoded in zip(wan_trace, loaded):
+            assert decoded.seq == original.seq
+            assert decoded.ack == original.ack
+            assert decoded.flags == original.flags
+            assert decoded.payload == original.payload
+            assert decoded.src == original.src
+
+    def test_timestamps_preserved_to_microseconds(self, wan_trace, tmp_path):
+        path = tmp_path / "trace.pcap"
+        write_pcap(wan_trace, path)
+        for original, decoded in zip(wan_trace, read_pcap(path)):
+            assert decoded.timestamp == pytest.approx(original.timestamp,
+                                                      abs=2e-6)
+
+    def test_analysis_works_on_reloaded_trace(self, wan_trace, tmp_path):
+        from repro.core import analyze_sender
+        from repro.tcp.catalog import get_behavior
+        path = tmp_path / "trace.pcap"
+        addresses = AddressMap()
+        write_pcap(wan_trace, path, addresses=addresses)
+        loaded = read_pcap(path, addresses=addresses)
+        analysis = analyze_sender(loaded, get_behavior("reno"))
+        assert analysis.violation_count == 0
+
+    def test_snaplen_truncates(self, wan_trace, tmp_path):
+        path = tmp_path / "trace.pcap"
+        write_pcap(wan_trace, path, snaplen=60)
+        loaded = read_pcap(path)
+        assert len(loaded) == len(wan_trace)
+        # payload length still read from the IP header's total length
+        assert any(r.payload > 0 for r in loaded)
+
+    def test_snaplen_disables_checksum_verification(self, tmp_path):
+        transfer = cached_transfer("reno", "lossy-corrupting", seed=1)
+        path = tmp_path / "trace.pcap"
+        write_pcap(transfer.receiver_trace, path, snaplen=60)
+        loaded = read_pcap(path)
+        assert not any(r.corrupted for r in loaded)
+
+    def test_full_capture_preserves_corruption(self, tmp_path):
+        transfer = cached_transfer("reno", "lossy-corrupting", seed=1)
+        path = tmp_path / "trace.pcap"
+        write_pcap(transfer.receiver_trace, path)
+        loaded = read_pcap(path)
+        original_corrupt = sum(r.corrupted for r in transfer.receiver_trace)
+        assert sum(r.corrupted for r in loaded) == original_corrupt > 0
+
+
+class TestFileFormat:
+    def test_magic_and_linktype(self, wan_trace, tmp_path):
+        path = tmp_path / "trace.pcap"
+        write_pcap(wan_trace, path)
+        header = path.read_bytes()[:24]
+        magic, = struct.unpack("!I", header[:4])
+        assert magic == 0xA1B2C3D4
+        linktype, = struct.unpack("!I", header[20:24])
+        assert linktype == 101  # LINKTYPE_RAW
+
+    def test_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bogus.pcap"
+        path.write_bytes(b"not a pcap file at all........")
+        with pytest.raises(ValueError):
+            read_pcap(path)
+
+    def test_rejects_short_file(self, tmp_path):
+        path = tmp_path / "short.pcap"
+        path.write_bytes(b"\xa1\xb2")
+        with pytest.raises(ValueError):
+            read_pcap(path)
+
+    def test_truncated_final_packet_tolerated(self, wan_trace, tmp_path):
+        path = tmp_path / "trace.pcap"
+        write_pcap(wan_trace, path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-10])
+        loaded = read_pcap(path)
+        assert len(loaded) == len(wan_trace) - 1

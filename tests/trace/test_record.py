@@ -1,0 +1,103 @@
+"""Trace container semantics."""
+
+import pytest
+
+from repro.packets import ACK, FIN, SYN, Endpoint
+from repro.trace.record import Trace, TraceRecord
+
+A = Endpoint("a", 1000)
+B = Endpoint("b", 2000)
+
+
+def record(t=0.0, src=A, dst=B, seq=0, ack=0, flags=ACK, payload=0,
+           window=65535, **kwargs):
+    return TraceRecord(timestamp=t, src=src, dst=dst, seq=seq, ack=ack,
+                       flags=flags, payload=payload, window=window, **kwargs)
+
+
+def simple_trace():
+    return Trace(records=[
+        record(t=0.0, flags=SYN, seq=0),
+        record(t=0.1, src=B, dst=A, flags=SYN | ACK, seq=0, ack=1),
+        record(t=0.2, seq=1, payload=512, ack=1),
+        record(t=0.3, src=B, dst=A, ack=513),
+        record(t=0.4, seq=513, payload=512, ack=1),
+    ], vantage="sender")
+
+
+class TestRecordProperties:
+    def test_seq_end_with_syn(self):
+        assert record(flags=SYN, seq=10).seq_end == 11
+
+    def test_seq_end_with_fin_and_payload(self):
+        assert record(flags=FIN | ACK, seq=10, payload=5).seq_end == 16
+
+    def test_is_pure_ack(self):
+        assert record().is_pure_ack
+        assert not record(payload=1).is_pure_ack
+        assert not record(flags=SYN | ACK).is_pure_ack
+
+    def test_describe_contains_essentials(self):
+        text = record(t=1.5, seq=100, payload=50, ack=7).describe()
+        assert "a.1000 > b.2000" in text
+        assert "100:150(50)" in text
+        assert "ack 7" in text
+
+    def test_with_timestamp(self):
+        assert record(t=1.0).with_timestamp(2.0).timestamp == 2.0
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            record().timestamp = 5.0
+
+
+class TestTraceQueries:
+    def test_primary_flow_is_data_direction(self):
+        trace = simple_trace()
+        assert trace.primary_flow().src == A
+
+    def test_primary_flow_falls_back_to_syn(self):
+        trace = Trace(records=[
+            record(t=0.0, flags=SYN, seq=0),
+            record(t=0.1, src=B, dst=A, flags=SYN | ACK, seq=0, ack=1),
+        ])
+        assert trace.primary_flow().src == A
+
+    def test_primary_flow_empty_raises(self):
+        with pytest.raises(ValueError):
+            Trace().primary_flow()
+
+    def test_data_packets(self):
+        assert len(simple_trace().data_packets()) == 2
+
+    def test_acks_excludes_synack(self):
+        acks = simple_trace().acks()
+        assert len(acks) == 1
+        assert acks[0].ack == 513
+
+    def test_filtered_preserves_metadata(self):
+        filtered = simple_trace().filtered(lambda r: r.payload > 0)
+        assert len(filtered) == 2
+        assert filtered.vantage == "sender"
+
+    def test_sorted_by_time(self):
+        trace = Trace(records=[record(t=2.0), record(t=1.0)])
+        assert [r.timestamp for r in trace.sorted_by_time()] == [1.0, 2.0]
+
+    def test_relative_seq(self):
+        trace = simple_trace()
+        data = trace.data_packets()[1]
+        assert trace.relative_seq(data) == 513
+
+    def test_iteration_and_indexing(self):
+        trace = simple_trace()
+        assert len(list(trace)) == len(trace) == 5
+        assert trace[0].is_syn
+
+    def test_describe_limits_lines(self):
+        text = simple_trace().describe(limit=2)
+        assert len(text.splitlines()) == 2
+
+    def test_flows(self):
+        trace = simple_trace()
+        assert len(trace.flows()) == 2

@@ -1,0 +1,98 @@
+"""tcpdump-style text rendering and parsing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.packets import ACK, FIN, PSH, SYN, Endpoint
+from repro.trace.record import TraceRecord
+from repro.trace.text import parse_line, parse_trace, render_record, render_trace
+
+from tests.conftest import cached_transfer
+
+
+def record(**kwargs):
+    defaults = dict(timestamp=0.5, src=Endpoint("sender", 1024),
+                    dst=Endpoint("receiver", 9000), seq=1000, ack=1,
+                    flags=ACK, payload=512, window=8192)
+    defaults.update(kwargs)
+    return TraceRecord(**defaults)
+
+
+class TestRendering:
+    def test_data_packet_line(self):
+        line = render_record(record())
+        assert line == ("0.500000 sender.1024 > receiver.9000: . "
+                        "1000:1512(512) ack 1 win 8192")
+
+    def test_syn_with_mss(self):
+        line = render_record(record(flags=SYN, payload=0, mss_option=512,
+                                    seq=0))
+        assert "S 0:1(0)" in line
+        assert "<mss 512>" in line
+        assert "ack" not in line
+
+    def test_corrupt_marker(self):
+        assert "[corrupt]" in render_record(record(corrupted=True))
+
+    def test_base_time_subtracted(self):
+        assert render_record(record(timestamp=5.25), base_time=5.0)\
+            .startswith("0.250000")
+
+
+class TestParsing:
+    def test_roundtrip_data_packet(self):
+        original = record()
+        parsed = parse_line(render_record(original))
+        assert parsed.seq == original.seq
+        assert parsed.ack == original.ack
+        assert parsed.payload == original.payload
+        assert parsed.flags == original.flags
+        assert parsed.window == original.window
+
+    def test_roundtrip_syn(self):
+        original = record(flags=SYN, payload=0, seq=0, mss_option=1460)
+        parsed = parse_line(render_record(original))
+        assert parsed.is_syn and parsed.mss_option == 1460
+
+    def test_roundtrip_corrupt(self):
+        parsed = parse_line(render_record(record(corrupted=True)))
+        assert parsed.corrupted
+
+    def test_unparseable_raises(self):
+        with pytest.raises(ValueError):
+            parse_line("this is not a trace line")
+
+    def test_parse_trace_skips_comments_and_blanks(self):
+        text = ("# a comment\n\n"
+                + render_record(record()) + "\n")
+        trace = parse_trace(text)
+        assert len(trace) == 1
+
+    def test_whole_trace_roundtrip(self):
+        original = cached_transfer("reno").sender_trace
+        text = render_trace(original, relative_time=False)
+        parsed = parse_trace(text)
+        assert len(parsed) == len(original)
+        for a, b in zip(original, parsed):
+            assert (a.seq, a.ack, a.flags, a.payload) == \
+                (b.seq, b.ack, b.flags, b.payload)
+
+    @given(seq=st.integers(min_value=0, max_value=2**32 - 2),
+           payload=st.integers(min_value=0, max_value=1460),
+           window=st.integers(min_value=0, max_value=65535),
+           flags=st.sampled_from([ACK, SYN, FIN | ACK, PSH | ACK]))
+    def test_roundtrip_property(self, seq, payload, window, flags):
+        original = record(seq=seq, payload=payload, window=window,
+                          flags=flags)
+        parsed = parse_line(render_record(original))
+        assert (parsed.seq, parsed.payload, parsed.window, parsed.flags) \
+            == (seq, payload, window, flags)
+
+    def test_analysis_works_on_parsed_trace(self):
+        from repro.core import analyze_sender
+        from repro.tcp.catalog import get_behavior
+        original = cached_transfer("reno").sender_trace
+        parsed = parse_trace(render_trace(original, relative_time=False))
+        analysis = analyze_sender(parsed, get_behavior("reno"))
+        assert analysis.violation_count == 0

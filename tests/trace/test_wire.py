@@ -1,0 +1,144 @@
+"""Wire-format encode/decode: real headers, real checksums."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.packets import ACK, FIN, PSH, SYN, Endpoint
+from repro.trace.record import TraceRecord
+from repro.trace.wire import (
+    AddressMap,
+    decode_packet,
+    encode_record,
+    internet_checksum,
+)
+
+
+def record(**kwargs):
+    defaults = dict(timestamp=1.0, src=Endpoint("sender", 1024),
+                    dst=Endpoint("receiver", 9000), seq=1000, ack=500,
+                    flags=ACK, payload=512, window=8192)
+    defaults.update(kwargs)
+    return TraceRecord(**defaults)
+
+
+class TestChecksum:
+    def test_known_vector(self):
+        # RFC 1071 example data
+        data = bytes([0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7])
+        assert internet_checksum(data) == 0x220D
+
+    def test_odd_length_padded(self):
+        # b"\xff" pads to 0xff00; complement is 0x00ff.
+        assert internet_checksum(b"\xff") == 0x00FF
+
+    def test_checksum_of_data_plus_checksum_is_zero(self):
+        data = b"hello world!"
+        checksum = internet_checksum(data)
+        combined = data + checksum.to_bytes(2, "big")
+        assert internet_checksum(combined) == 0
+
+
+class TestRoundTrip:
+    def test_basic_fields(self):
+        addresses = AddressMap()
+        packet = encode_record(record(), addresses)
+        decoded = decode_packet(packet, 1.0, addresses)
+        original = record()
+        assert decoded.seq == original.seq
+        assert decoded.ack == original.ack
+        assert decoded.flags == original.flags
+        assert decoded.payload == original.payload
+        assert decoded.window == original.window
+        assert decoded.src == original.src
+        assert decoded.dst == original.dst
+
+    def test_mss_option_roundtrips(self):
+        addresses = AddressMap()
+        packet = encode_record(record(flags=SYN, payload=0, mss_option=1460),
+                               addresses)
+        decoded = decode_packet(packet, 0.0, addresses)
+        assert decoded.mss_option == 1460
+
+    def test_no_option_decodes_none(self):
+        addresses = AddressMap()
+        packet = encode_record(record(), addresses)
+        assert decode_packet(packet, 0.0, addresses).mss_option is None
+
+    def test_clean_packet_passes_checksum(self):
+        packet = encode_record(record())
+        assert not decode_packet(packet, 0.0).corrupted
+
+    def test_corrupted_packet_fails_checksum(self):
+        packet = encode_record(record(corrupted=True))
+        assert decode_packet(packet, 0.0).corrupted
+
+    def test_addressmap_fallback_to_dotted_quads(self):
+        addresses = AddressMap()
+        packet = encode_record(record(), addresses)
+        decoded = decode_packet(packet, 0.0, None)
+        assert decoded.src.addr.startswith("10.0.")
+
+    def test_already_ip_addresses_pass_through(self):
+        addresses = AddressMap()
+        rec = record(src=Endpoint("192.168.1.1", 80))
+        packet = encode_record(rec, addresses)
+        decoded = decode_packet(packet, 0.0, addresses)
+        assert decoded.src.addr == "192.168.1.1"
+
+    @given(seq=st.integers(min_value=0, max_value=2**32 - 1),
+           ack=st.integers(min_value=0, max_value=2**32 - 1),
+           payload=st.integers(min_value=0, max_value=1460),
+           window=st.integers(min_value=0, max_value=65535),
+           flags=st.sampled_from([ACK, SYN, SYN | ACK, FIN | ACK,
+                                  PSH | ACK]))
+    def test_roundtrip_property(self, seq, ack, payload, window, flags):
+        addresses = AddressMap()
+        original = record(seq=seq, ack=ack, payload=payload, window=window,
+                          flags=flags)
+        decoded = decode_packet(encode_record(original, addresses), 0.0,
+                                addresses)
+        assert (decoded.seq, decoded.ack, decoded.payload, decoded.window,
+                decoded.flags) == (seq, ack, payload, window, flags)
+        assert not decoded.corrupted
+
+
+class TestDecodeErrors:
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            decode_packet(b"\x45\x00", 0.0)
+
+    def test_non_ipv4_rejected(self):
+        packet = bytearray(encode_record(record()))
+        packet[0] = 0x65  # version 6
+        with pytest.raises(ValueError):
+            decode_packet(bytes(packet), 0.0)
+
+    def test_non_tcp_rejected(self):
+        packet = bytearray(encode_record(record()))
+        packet[9] = 17  # UDP
+        with pytest.raises(ValueError):
+            decode_packet(bytes(packet), 0.0)
+
+    def test_truncated_skips_checksum(self):
+        packet = encode_record(record(corrupted=True))
+        decoded = decode_packet(packet[:40], 0.0, verify_checksum=False)
+        assert not decoded.corrupted  # cannot tell from headers alone
+
+
+class TestAddressMap:
+    def test_stable_assignment(self):
+        addresses = AddressMap()
+        assert addresses.ip_for("host-x") == addresses.ip_for("host-x")
+
+    def test_distinct_hosts_distinct_ips(self):
+        addresses = AddressMap()
+        assert addresses.ip_for("a") != addresses.ip_for("b")
+
+    def test_reverse_lookup(self):
+        addresses = AddressMap()
+        ip = addresses.ip_for("myhost")
+        assert addresses.name_for(ip) == "myhost"
+
+    def test_unknown_ip_returned_verbatim(self):
+        assert AddressMap().name_for("1.2.3.4") == "1.2.3.4"
