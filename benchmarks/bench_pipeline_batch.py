@@ -1,0 +1,64 @@
+"""P1 — batch pipeline throughput: sequential vs. parallel corpus runs.
+
+The paper's study ran tcpanaly over ~20,000 traces per side (Table 1);
+the batch pipeline is the substrate that makes corpus-scale runs
+practical.  This benchmark generates a 40-trace corpus (20 sender +
+20 receiver pcaps), batch-analyzes it sequentially (``jobs=1``) and
+with a 4-worker process pool, and reports traces/sec for both along
+with the parallel speedup — while asserting the two runs produce
+byte-identical per-trace results, the pipeline's core determinism
+contract.
+
+The >1.5x speedup expectation only applies on hardware with at least
+4 usable cores; on smaller machines the speedup is recorded but not
+asserted (a process pool cannot beat the clock on one core).
+"""
+
+import os
+
+from repro.harness.corpus import write_corpus
+from repro.pipeline import corpus_items, result_line, run_batch
+from repro.tcp.catalog import CORE_STUDY
+
+from benchmarks.conftest import emit
+
+JOBS = 4
+IMPLEMENTATIONS = CORE_STUDY[:10]
+PAIRS_PER_IMPLEMENTATION = 2   # 10 impls x 2 pairs = 40 traces
+
+
+def run_both(corpus_dir):
+    write_corpus(corpus_dir, implementations=IMPLEMENTATIONS,
+                 traces_per_implementation=PAIRS_PER_IMPLEMENTATION,
+                 data_size=20480)
+    items = corpus_items(corpus_dir)
+    sequential = run_batch(items, jobs=1)
+    parallel = run_batch(items, jobs=JOBS)
+    return sequential, parallel
+
+
+def test_pipeline_batch_throughput(once, tmp_path):
+    sequential, parallel = once(run_both, tmp_path / "corpus")
+
+    speedup = parallel.throughput / sequential.throughput
+    emit("Batch pipeline throughput (40-trace corpus)", [
+        f"{'jobs':>6s} {'wall (s)':>9s} {'traces/sec':>11s}",
+        f"{sequential.jobs:6d} {sequential.wall_time:9.2f} "
+        f"{sequential.throughput:11.1f}",
+        f"{parallel.jobs:6d} {parallel.wall_time:9.2f} "
+        f"{parallel.throughput:11.1f}",
+        f"speedup at {JOBS} jobs: {speedup:.2f}x "
+        f"({os.cpu_count()} core(s) visible)",
+    ])
+
+    # Determinism: the parallel run's per-trace results are
+    # byte-identical to the sequential run's.
+    assert [result_line(r) for r in sequential.results] \
+        == [result_line(r) for r in parallel.results]
+    assert len(sequential.results) \
+        == 2 * len(IMPLEMENTATIONS) * PAIRS_PER_IMPLEMENTATION
+
+    cores = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") \
+        else (os.cpu_count() or 1)
+    if cores >= JOBS:
+        assert speedup > 1.5

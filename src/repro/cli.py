@@ -15,9 +15,15 @@ Subcommands:
 ``calibrate TRACE.pcap [--peer PEER.pcap] [-i LABEL]``
     Run only the §3 measurement-error battery on a trace.
 
-``corpus OUTDIR [--per-implementation N]``
+``corpus OUTDIR [--per-implementation N] [--analyze]``
     Generate a trace corpus (pcap pairs per implementation), the
-    synthetic analogue of the paper's Table 1 data set.
+    synthetic analogue of the paper's Table 1 data set; with
+    ``--analyze``, feed it straight into the batch pipeline.
+
+``batch CORPUS_DIR [--jobs N] [--cache DIR] [--jsonl OUT]``
+    Batch-analyze every pcap in a corpus directory across worker
+    processes, with an optional on-disk result cache, per-trace JSONL
+    output, and a Table-1-style aggregate report.
 
 ``stats TRACE.pcap``
     Per-connection summary statistics (tcptrace-style); handles
@@ -125,22 +131,47 @@ def _command_calibrate(args: argparse.Namespace) -> int:
     return 1
 
 
-def _command_corpus(args: argparse.Namespace) -> int:
-    import pathlib
-
-    from repro.harness.corpus import generate_corpus
-    outdir = pathlib.Path(args.outdir)
-    outdir.mkdir(parents=True, exist_ok=True)
-    count = 0
-    for entry in generate_corpus(
-            traces_per_implementation=args.per_implementation,
-            data_size=args.size):
-        stem = f"{entry.implementation}-{count:04d}"
-        write_pcap(entry.sender_trace, outdir / f"{stem}-sender.pcap")
-        write_pcap(entry.receiver_trace, outdir / f"{stem}-receiver.pcap")
-        count += 1
-    print(f"wrote {count} trace pairs to {outdir}")
+def _batch_run(items, args) -> int:
+    """Shared tail of ``batch`` and ``corpus --analyze``."""
+    from repro.pipeline import (
+        ResultCache,
+        aggregate_report,
+        run_batch,
+        write_jsonl,
+    )
+    cache = ResultCache(args.cache) if args.cache else None
+    batch = run_batch(items, jobs=args.jobs, cache=cache)
+    if args.jsonl:
+        write_jsonl(batch.results, args.jsonl)
+        print(f"wrote {len(batch.results)} result(s) to {args.jsonl}")
+    print(aggregate_report(batch))
     return 0
+
+
+def _command_batch(args: argparse.Namespace) -> int:
+    from repro.pipeline import corpus_items
+    return _batch_run(corpus_items(args.corpus_dir), args)
+
+
+def _command_corpus(args: argparse.Namespace) -> int:
+    from repro.harness.corpus import write_corpus
+    implementations = None
+    if args.implementations:
+        implementations = args.implementations.split(",")
+        unknown = [label for label in implementations
+                   if label not in CATALOG]
+        if unknown:
+            raise ValueError(
+                f"unknown implementation(s): {', '.join(unknown)} "
+                f"(see `tcpanaly list`)")
+    written = write_corpus(args.outdir, implementations=implementations,
+                           traces_per_implementation=args.per_implementation,
+                           data_size=args.size)
+    print(f"wrote {len(written)} trace pairs to {args.outdir}")
+    if not args.analyze:
+        return 0
+    from repro.pipeline import memory_items
+    return _batch_run(memory_items(written), args)
 
 
 def _command_stats(args: argparse.Namespace) -> int:
@@ -218,7 +249,33 @@ def build_parser() -> argparse.ArgumentParser:
     corpus.add_argument("outdir")
     corpus.add_argument("--per-implementation", type=int, default=2)
     corpus.add_argument("--size", type=int, default=kbyte(100))
+    corpus.add_argument("--implementations", default=None,
+                        help="comma-separated labels (default: the "
+                        "Table 1 core study set)")
+    corpus.add_argument("--analyze", action="store_true",
+                        help="feed the generated corpus straight into "
+                        "the batch pipeline")
+    corpus.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for --analyze")
+    corpus.add_argument("--cache", default=None,
+                        help="result-cache directory for --analyze")
+    corpus.add_argument("--jsonl", default=None,
+                        help="per-trace JSONL output for --analyze")
     corpus.set_defaults(handler=_command_corpus)
+
+    batch = sub.add_parser("batch",
+                           help="batch-analyze every pcap in a corpus "
+                           "directory")
+    batch.add_argument("corpus_dir")
+    batch.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1 = sequential, "
+                       "deterministic execution order)")
+    batch.add_argument("--cache", default=None,
+                       help="on-disk result cache directory (keyed by "
+                       "trace content hash + catalog version)")
+    batch.add_argument("--jsonl", default=None,
+                       help="write per-trace results as JSON Lines")
+    batch.set_defaults(handler=_command_batch)
 
     stats = sub.add_parser("stats", help="per-connection statistics")
     stats.add_argument("trace")
@@ -235,7 +292,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except (OSError, ValueError) as error:
+        # A missing file, an unreadable path, or a non-pcap input is a
+        # usage problem, not a crash: one line on stderr, exit 2.
+        print(f"tcpanaly: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

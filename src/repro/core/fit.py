@@ -46,6 +46,21 @@ class CandidateFit:
     def violations(self) -> int:
         return self.analysis.violation_count if self.analysis else -1
 
+    def to_dict(self) -> dict:
+        """JSON-safe summary (``inf`` scores become ``None``)."""
+        summary: dict = {
+            "implementation": self.implementation,
+            "category": self.category,
+        }
+        if self.analysis is not None:
+            summary["score"] = self.score
+            summary["violations"] = self.analysis.violation_count
+            summary["mean_response_delay"] = \
+                self.analysis.mean_response_delay
+        else:
+            summary["score"] = None
+        return summary
+
 
 @dataclass
 class FitReport:
@@ -68,6 +83,14 @@ class FitReport:
     @property
     def best(self) -> CandidateFit | None:
         return self.fits[0] if self.fits else None
+
+    def to_dict(self) -> dict:
+        best = self.best
+        return {
+            "best": best.implementation if best is not None else None,
+            "best_category": best.category if best is not None else None,
+            "fits": [fit.to_dict() for fit in self.fits],
+        }
 
     def summary(self) -> str:
         lines = []
@@ -140,11 +163,16 @@ class ReceiverFit:
     implementation: str
     category: str              # close / imperfect / incorrect / unusable
     score: float = float("inf")
-    inconsistencies: list[str] = None
+    inconsistencies: list[str] = field(default_factory=list)
 
-    def __post_init__(self):
-        if self.inconsistencies is None:
-            self.inconsistencies = []
+    def to_dict(self) -> dict:
+        """JSON-safe summary (``inf`` scores become ``None``)."""
+        return {
+            "implementation": self.implementation,
+            "category": self.category,
+            "score": self.score if self.score != float("inf") else None,
+            "inconsistencies": list(self.inconsistencies),
+        }
 
 
 def _expected_delay_ceiling(behavior: TCPBehavior) -> float:

@@ -14,7 +14,12 @@ from repro.tcp.params import TCPBehavior
 from repro.trace.record import Trace
 
 from repro.core.calibrate import CalibrationReport, calibrate_trace
-from repro.core.fit import FitReport, identify_implementation
+from repro.core.fit import (
+    FitReport,
+    ReceiverFit,
+    identify_implementation,
+    identify_receiver,
+)
 from repro.core.receiver.analyzer import ReceiverAnalysis, analyze_receiver
 from repro.core.sender.analyzer import (
     SenderAnalysis,
@@ -33,6 +38,7 @@ class TraceReport:
     sender: SenderAnalysis | None = None
     receiver: ReceiverAnalysis | None = None
     identification: FitReport | None = None
+    receiver_identification: list[ReceiverFit] | None = None
 
     def render(self) -> str:
         lines = [f"=== tcpanaly report (vantage: {self.vantage}) ==="]
@@ -62,7 +68,44 @@ class TraceReport:
         if self.identification is not None:
             lines.append("-- implementation identification --")
             lines.append(self.identification.summary())
+        if self.receiver_identification is not None:
+            lines.append("-- receiver acking-policy identification --")
+            for fit in self.receiver_identification:
+                notes = "; ".join(fit.inconsistencies)
+                lines.append(f"  {fit.implementation:16s} "
+                             f"{fit.category:10s} {notes}")
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable summary of the whole report.
+
+        Deterministic for a given trace and catalog — the batch
+        pipeline writes exactly this to its JSONL output and result
+        cache, so parallel, sequential, and cached runs agree
+        byte-for-byte.
+        """
+        calibration = self.calibration
+        summary: dict = {
+            "vantage": self.vantage,
+            "calibration": {
+                "clean": calibration.clean,
+                "drop_evidence": len(calibration.drop_evidence),
+                "duplicates": len(calibration.duplicates),
+                "resequencing": len(calibration.resequencing),
+                "time_travel": len(calibration.time_travel),
+            },
+        }
+        if self.identification is not None:
+            summary["identification"] = self.identification.to_dict()
+        if self.receiver_identification is not None:
+            fits = self.receiver_identification
+            close = [f.implementation for f in fits
+                     if f.category == "close"]
+            summary["receiver_identification"] = {
+                "close": close,
+                "fits": [fit.to_dict() for fit in fits],
+            }
+        return summary
 
 
 def analyze_trace(trace: Trace, behavior: TCPBehavior | None = None,
@@ -72,8 +115,10 @@ def analyze_trace(trace: Trace, behavior: TCPBehavior | None = None,
     """Run the full analysis pipeline on one trace.
 
     With *behavior* the behavior-specific checks run; with *identify*
-    every catalog implementation is ranked.  The analysis appropriate
-    to the trace's vantage is chosen automatically.
+    every catalog implementation is ranked — by congestion behavior
+    for sender traces, by acking policy for receiver traces.  The
+    analysis appropriate to the trace's vantage is chosen
+    automatically.
     """
     vantage = infer_vantage(trace)
     calibration = calibrate_trace(trace, behavior, peer_trace)
@@ -90,6 +135,9 @@ def analyze_trace(trace: Trace, behavior: TCPBehavior | None = None,
                     trace, behavior, headers_only=headers_only)
             except ValueError:
                 pass
-    if identify and vantage == "sender":
-        report.identification = identify_implementation(trace)
+    if identify:
+        if vantage == "sender":
+            report.identification = identify_implementation(trace)
+        else:
+            report.receiver_identification = identify_receiver(trace)
     return report

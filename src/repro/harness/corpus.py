@@ -12,6 +12,7 @@ thousands if asked.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Iterable, Iterator
 
 from repro.harness.scenarios import SCENARIOS, TracedTransfer, traced_transfer
@@ -61,6 +62,58 @@ def generate_corpus(implementations: Iterable[str] | None = None,
                                        data_size=data_size, seed=seed)
             yield CorpusEntry(implementation=implementation,
                               transfer=transfer)
+
+
+@dataclass
+class WrittenCorpusEntry:
+    """One corpus element written to disk: label, index, and pcap paths."""
+
+    implementation: str
+    index: int
+    sender_path: Path
+    receiver_path: Path
+    transfer: TracedTransfer
+
+    @property
+    def stem(self) -> str:
+        return f"{self.implementation}-{self.index:04d}"
+
+
+def write_corpus(outdir: str | Path,
+                 implementations: Iterable[str] | None = None,
+                 traces_per_implementation: int = 5,
+                 scenarios: Iterable[str] = DEFAULT_ROTATION,
+                 data_size: int = kbyte(100),
+                 base_seed: int = 0) -> list[WrittenCorpusEntry]:
+    """Generate a corpus and write it to *outdir* as pcap pairs.
+
+    Files are numbered per implementation —
+    ``{label}-{index:04d}-{sender,receiver}.pcap`` with *index*
+    starting at 0 for each label — so the layout is predictable from
+    the generation parameters alone.
+    """
+    from repro.trace.pcap import write_pcap
+
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    counters: dict[str, int] = {}
+    written = []
+    for entry in generate_corpus(
+            implementations=implementations,
+            traces_per_implementation=traces_per_implementation,
+            scenarios=scenarios, data_size=data_size, base_seed=base_seed):
+        index = counters.get(entry.implementation, 0)
+        counters[entry.implementation] = index + 1
+        stem = f"{entry.implementation}-{index:04d}"
+        sender_path = outdir / f"{stem}-sender.pcap"
+        receiver_path = outdir / f"{stem}-receiver.pcap"
+        write_pcap(entry.sender_trace, sender_path)
+        write_pcap(entry.receiver_trace, receiver_path)
+        written.append(WrittenCorpusEntry(
+            implementation=entry.implementation, index=index,
+            sender_path=sender_path, receiver_path=receiver_path,
+            transfer=entry.transfer))
+    return written
 
 
 def corpus_summary(entries: Iterable[CorpusEntry]) -> dict[str, dict]:

@@ -1,0 +1,38 @@
+"""Parallel corpus batch analysis (the Table-1 scale substrate).
+
+``run_batch`` fans the full per-trace pipeline (calibration plus
+sender/receiver identification) out across worker processes, with an
+on-disk result cache keyed by trace content and catalog version.
+``write_jsonl`` and ``aggregate_report`` turn a batch into stable
+machine-readable results and a Table-1-style summary.
+"""
+
+from repro.pipeline.cache import ResultCache, file_digest, trace_digest
+from repro.pipeline.report import aggregate_report, result_line, write_jsonl
+from repro.pipeline.runner import (
+    BatchItem,
+    BatchResult,
+    TraceResult,
+    analyze_item,
+    corpus_items,
+    memory_items,
+    run_batch,
+    true_implementation,
+)
+
+__all__ = [
+    "BatchItem",
+    "BatchResult",
+    "ResultCache",
+    "TraceResult",
+    "aggregate_report",
+    "analyze_item",
+    "corpus_items",
+    "file_digest",
+    "memory_items",
+    "result_line",
+    "run_batch",
+    "trace_digest",
+    "true_implementation",
+    "write_jsonl",
+]

@@ -1,0 +1,92 @@
+"""On-disk result cache for the batch pipeline.
+
+Each cached entry is the JSON payload produced for one trace, keyed by
+a digest of the trace *content* combined with the implementation
+catalog's version digest.  Re-running a corpus therefore only analyzes
+traces that are new or changed — and editing the catalog (the paper's
+equivalent of teaching tcpanaly a new implementation) invalidates
+every cached fit automatically, because the fits were computed against
+the old candidate set.
+
+Cache entries are plain ``<key>.json`` files: inspectable with any
+JSON tool, safe to delete wholesale, and written atomically so a
+killed run never leaves a half-written entry behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.tcp.catalog import catalog_version
+from repro.trace.record import Trace
+
+
+def file_digest(path: str | Path) -> str:
+    """Content digest of a trace file on disk."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def trace_digest(trace: Trace) -> str:
+    """Content digest of an in-memory trace.
+
+    Hashes every record field the analyzers consume, so two traces
+    with identical packets share a digest regardless of how they were
+    produced (generated in memory or round-tripped through pcap).
+    """
+    digest = hashlib.sha256()
+    digest.update(trace.vantage.encode())
+    for record in trace.records:
+        digest.update(repr((
+            record.timestamp, str(record.src), str(record.dst),
+            record.seq, record.ack, record.flags, record.payload,
+            record.window, record.mss_option, record.corrupted,
+        )).encode())
+    return digest.hexdigest()
+
+
+class ResultCache:
+    """Maps a trace content digest to its cached analysis payload."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.catalog_version = catalog_version()
+
+    def key(self, content_digest: str) -> str:
+        """The full cache key: trace content plus catalog version."""
+        return hashlib.sha256(
+            f"{content_digest}:{self.catalog_version}".encode()).hexdigest()
+
+    def _path(self, content_digest: str) -> Path:
+        return self.root / f"{self.key(content_digest)}.json"
+
+    def get(self, content_digest: str) -> dict | None:
+        """The cached payload for *content_digest*, or None on a miss.
+
+        A corrupt or unreadable entry counts as a miss: the trace is
+        simply re-analyzed and the entry rewritten.
+        """
+        try:
+            with open(self._path(content_digest)) as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def put(self, content_digest: str, payload: dict) -> None:
+        """Store *payload* atomically (write-then-rename)."""
+        path = self._path(content_digest)
+        scratch = path.with_suffix(f".tmp{os.getpid()}")
+        with open(scratch, "w") as handle:
+            json.dump(payload, handle, sort_keys=True)
+        os.replace(scratch, path)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))

@@ -243,3 +243,16 @@ def get_behavior(label: str) -> TCPBehavior:
 def implementation_names() -> list[str]:
     """All catalog labels, sorted."""
     return sorted(CATALOG)
+
+
+def catalog_version() -> str:
+    """A short digest of every known behavior.
+
+    Batch-analysis caches embed this in their keys, so editing any
+    behavior (or adding/removing one) invalidates previously cached
+    fits without manual cache busting.
+    """
+    import hashlib
+    blob = "\n".join(f"{label}={CATALOG[label]!r}"
+                     for label in sorted(CATALOG))
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]

@@ -25,15 +25,28 @@ PCAP_MAGIC_SWAPPED = 0xD4C3B2A1
 LINKTYPE_RAW = 101
 LINKTYPE_ETHERNET = 1
 
+_BYTE_ORDER_PREFIX = {"big": ">", "little": "<"}
+
 
 def write_pcap(trace: Trace, path: str | FilePath,
                snaplen: int | None = None,
-               addresses: AddressMap | None = None) -> None:
-    """Write *trace* to a pcap file at *path*."""
+               addresses: AddressMap | None = None,
+               byte_order: str = "big") -> None:
+    """Write *trace* to a pcap file at *path*.
+
+    *byte_order* selects the container's header endianness (``"big"``
+    or ``"little"``); readers detect either from the magic number, so
+    both round-trip.  Packet *contents* are network order regardless.
+    """
+    try:
+        endian = _BYTE_ORDER_PREFIX[byte_order]
+    except KeyError:
+        raise ValueError(f"byte_order must be 'big' or 'little', "
+                         f"not {byte_order!r}")
     addresses = addresses or AddressMap()
     effective_snaplen = snaplen if snaplen is not None else 65535
     with open(path, "wb") as handle:
-        handle.write(struct.pack("!IHHiIII", PCAP_MAGIC, 2, 4, 0, 0,
+        handle.write(struct.pack(endian + "IHHiIII", PCAP_MAGIC, 2, 4, 0, 0,
                                  effective_snaplen, LINKTYPE_RAW))
         for record in trace.records:
             packet = encode_record(record, addresses)
@@ -45,7 +58,7 @@ def write_pcap(trace: Trace, path: str | FilePath,
             if micros >= 1_000_000:
                 seconds += 1
                 micros -= 1_000_000
-            handle.write(struct.pack("!IIII", seconds, micros,
+            handle.write(struct.pack(endian + "IIII", seconds, micros,
                                      len(packet), original_len))
             handle.write(packet)
 
@@ -64,22 +77,17 @@ def read_pcap(path: str | FilePath,
         header = handle.read(24)
         if len(header) < 24:
             raise ValueError(f"{path}: too short to be a pcap file")
-        magic = struct.unpack("!I", header[:4])[0]
+        # One detection path: read the magic big-endian.  A match means
+        # a big-endian file; the byte-swapped constant means the writer
+        # was little-endian; anything else is not a pcap file.
+        magic = struct.unpack(">I", header[:4])[0]
         if magic == PCAP_MAGIC:
-            endian = "!"
+            endian = ">"
         elif magic == PCAP_MAGIC_SWAPPED:
             endian = "<"
-            magic = struct.unpack("<I", header[:4])[0]
-            if magic != PCAP_MAGIC:
-                raise ValueError(f"{path}: unrecognized pcap magic")
         else:
-            # Try little-endian reading of a natively-written file.
-            magic_le = struct.unpack("<I", header[:4])[0]
-            if magic_le == PCAP_MAGIC:
-                endian = "<"
-            else:
-                raise ValueError(f"{path}: unrecognized pcap magic "
-                                 f"{magic:#x}")
+            raise ValueError(f"{path}: unrecognized pcap magic "
+                             f"{magic:#010x}")
         _v_major, _v_minor, _tz, _sig, _snaplen, linktype = struct.unpack(
             endian + "HHiIII", header[4:24])
         if linktype not in (LINKTYPE_RAW, LINKTYPE_ETHERNET):

@@ -18,6 +18,20 @@ def close_set(trace, candidates=None):
     return {f.implementation for f in fits if f.category == "close"}
 
 
+class TestReceiverFitDefaults:
+    def test_inconsistencies_default_to_empty_list(self):
+        from repro.core.fit import ReceiverFit
+        fit = ReceiverFit("reno", "close")
+        assert fit.inconsistencies == []
+
+    def test_default_lists_are_isolated_between_instances(self):
+        from repro.core.fit import ReceiverFit
+        first = ReceiverFit("reno", "close")
+        second = ReceiverFit("tahoe", "close")
+        first.inconsistencies.append("late acks")
+        assert second.inconsistencies == []
+
+
 class TestPassiveIdentification:
     def test_heartbeat_family_on_bsd_trace(self):
         close = close_set(cached_transfer("reno").receiver_trace)

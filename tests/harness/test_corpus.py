@@ -1,6 +1,10 @@
 """Corpus generation (the Table 1 stand-in)."""
 
-from repro.harness.corpus import corpus_summary, generate_corpus
+from repro.harness.corpus import (
+    corpus_summary,
+    generate_corpus,
+    write_corpus,
+)
 
 
 class TestGeneration:
@@ -32,6 +36,29 @@ class TestGeneration:
                                   scenarios=("lan",), data_size=2048)
         labels = {e.implementation for e in entries}
         assert labels == set(CORE_STUDY)
+
+
+class TestWriteCorpus:
+    def test_files_numbered_per_implementation(self, tmp_path):
+        write_corpus(tmp_path, implementations=["reno", "linux-1.0"],
+                     traces_per_implementation=2, data_size=10240)
+        names = sorted(p.name for p in tmp_path.glob("*.pcap"))
+        assert names == [
+            "linux-1.0-0000-receiver.pcap", "linux-1.0-0000-sender.pcap",
+            "linux-1.0-0001-receiver.pcap", "linux-1.0-0001-sender.pcap",
+            "reno-0000-receiver.pcap", "reno-0000-sender.pcap",
+            "reno-0001-receiver.pcap", "reno-0001-sender.pcap",
+        ]
+
+    def test_entries_report_paths_and_stems(self, tmp_path):
+        written = write_corpus(tmp_path, implementations=["reno"],
+                               traces_per_implementation=1,
+                               data_size=10240)
+        entry, = written
+        assert entry.stem == "reno-0000"
+        assert entry.sender_path.exists()
+        assert entry.receiver_path.exists()
+        assert len(entry.transfer.sender_trace) > 0
 
 
 class TestSummary:

@@ -1,0 +1,132 @@
+"""Batch runner: determinism, parallelism, caching, provenance."""
+
+import pytest
+
+from repro.harness.corpus import write_corpus
+from repro.pipeline import (
+    ResultCache,
+    corpus_items,
+    memory_items,
+    run_batch,
+    true_implementation,
+    write_jsonl,
+)
+
+IMPLEMENTATIONS = ["reno", "linux-1.0"]
+
+
+@pytest.fixture(scope="module")
+def corpus_dir(tmp_path_factory):
+    outdir = tmp_path_factory.mktemp("corpus")
+    write_corpus(outdir, implementations=IMPLEMENTATIONS,
+                 traces_per_implementation=1, data_size=10240)
+    return outdir
+
+
+class TestTrueImplementation:
+    def test_dashed_label_parsed_from_the_right(self):
+        assert true_implementation("solaris-2.4-0003-sender.pcap") \
+            == "solaris-2.4"
+
+    def test_receiver_side(self):
+        assert true_implementation("linux-1.0-0000-receiver.pcap") \
+            == "linux-1.0"
+
+    def test_unknown_label_is_none(self):
+        assert true_implementation("mystery-os-0000-sender.pcap") is None
+
+    def test_non_corpus_name_is_none(self):
+        assert true_implementation("capture.pcap") is None
+
+
+class TestCorpusItems:
+    def test_items_sorted_with_provenance(self, corpus_dir):
+        items = corpus_items(corpus_dir)
+        assert len(items) == 2 * len(IMPLEMENTATIONS)
+        assert [i.name for i in items] == sorted(i.name for i in items)
+        assert {i.implementation for i in items} == set(IMPLEMENTATIONS)
+
+    def test_empty_directory_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            corpus_items(tmp_path)
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            corpus_items(tmp_path / "nope")
+
+
+class TestRunBatch:
+    def test_sequential_results(self, corpus_dir):
+        batch = run_batch(corpus_items(corpus_dir), jobs=1)
+        assert len(batch.results) == 2 * len(IMPLEMENTATIONS)
+        for result in batch.results:
+            assert result.payload["trace"] == result.name
+            assert result.payload["records"] > 0
+            assert "calibration" in result.payload
+            side = ("identification" if result.name.endswith("-sender.pcap")
+                    else "receiver_identification")
+            assert side in result.payload
+
+    def test_parallel_matches_sequential_byte_for_byte(self, corpus_dir,
+                                                       tmp_path):
+        items = corpus_items(corpus_dir)
+        sequential = run_batch(items, jobs=1)
+        parallel = run_batch(items, jobs=2)
+        write_jsonl(sequential.results, tmp_path / "seq.jsonl")
+        write_jsonl(parallel.results, tmp_path / "par.jsonl")
+        assert (tmp_path / "seq.jsonl").read_bytes() \
+            == (tmp_path / "par.jsonl").read_bytes()
+
+    def test_warm_cache_skips_all_analysis(self, corpus_dir, tmp_path):
+        items = corpus_items(corpus_dir)
+        cache = ResultCache(tmp_path / "cache")
+        cold = run_batch(items, jobs=1, cache=cache)
+        assert cold.cache_hits == 0
+        assert cold.cache_misses == len(items)
+        warm = run_batch(items, jobs=1, cache=cache)
+        assert warm.cache_hits == len(items)
+        assert warm.cache_misses == 0
+        assert [r.payload for r in warm.results] \
+            == [r.payload for r in cold.results]
+
+    def test_changed_trace_invalidates_only_itself(self, corpus_dir,
+                                                   tmp_path):
+        items = corpus_items(corpus_dir)
+        cache = ResultCache(tmp_path / "cache")
+        run_batch(items, jobs=1, cache=cache)
+        victim = items[0].path
+        data = victim.read_bytes()
+        victim.write_bytes(data + b"\x00" * 4)  # truncated trailing packet
+        try:
+            rerun = run_batch(corpus_items(corpus_dir), jobs=1, cache=cache)
+        finally:
+            victim.write_bytes(data)
+        assert rerun.cache_misses == 1
+        assert rerun.cache_hits == len(items) - 1
+
+    def test_memory_items_match_file_items(self, tmp_path):
+        written = write_corpus(tmp_path / "c", implementations=["reno"],
+                               traces_per_implementation=1, data_size=10240)
+        from_memory = run_batch(memory_items(written), jobs=1)
+        from_files = run_batch(corpus_items(tmp_path / "c"), jobs=1)
+        names = [r.name for r in from_memory.results]
+        assert names == [r.name for r in from_files.results]
+        for memory, file in zip(from_memory.results, from_files.results):
+            assert memory.payload["records"] == file.payload["records"]
+
+    def test_rejects_zero_jobs(self, corpus_dir):
+        with pytest.raises(ValueError):
+            run_batch(corpus_items(corpus_dir), jobs=0)
+
+    def test_damaged_trace_yields_error_payload(self, corpus_dir,
+                                                tmp_path):
+        import shutil
+        mixed = tmp_path / "mixed"
+        shutil.copytree(corpus_dir, mixed)
+        (mixed / "bad.pcap").write_bytes(b"garbage")
+        batch = run_batch(corpus_items(mixed), jobs=1)
+        by_name = {r.name: r.payload for r in batch.results}
+        assert "error" in by_name["bad.pcap"]
+        assert "identification" not in by_name["bad.pcap"]
+        healthy = len(batch.results) - 1
+        assert sum("error" not in p for p in by_name.values()) == healthy

@@ -114,6 +114,27 @@ class TestCorpusCommand:
         pcaps = list((tmp_path / "corpus").glob("*.pcap"))
         assert len(pcaps) == 2 * len(CORE_STUDY)
 
+    def test_filenames_numbered_per_implementation(self, tmp_path, capsys):
+        code = main(["corpus", str(tmp_path / "corpus"),
+                     "--implementations", "reno,tahoe",
+                     "--per-implementation", "2", "--size", "10240"])
+        assert code == 0
+        names = {p.name for p in (tmp_path / "corpus").glob("*-sender.pcap")}
+        assert names == {"reno-0000-sender.pcap", "reno-0001-sender.pcap",
+                         "tahoe-0000-sender.pcap",
+                         "tahoe-0001-sender.pcap"}
+
+    def test_analyze_feeds_batch_pipeline(self, tmp_path, capsys):
+        jsonl = tmp_path / "results.jsonl"
+        code = main(["corpus", str(tmp_path / "corpus"),
+                     "--implementations", "reno",
+                     "--per-implementation", "1", "--size", "10240",
+                     "--analyze", "--jsonl", str(jsonl)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "batch aggregate" in out
+        assert len(jsonl.read_text().splitlines()) == 2
+
     def test_corpus_traces_readable(self, tmp_path):
         main(["corpus", str(tmp_path / "corpus"),
               "--per-implementation", "1", "--size", "10240"])
@@ -123,6 +144,83 @@ class TestCorpusCommand:
             pcap = next((tmp_path / "corpus").glob("*-sender.pcap"))
         trace = read_pcap(pcap)
         assert len(trace) > 0
+
+
+class TestBatchCommand:
+    @pytest.fixture(scope="class")
+    def corpus_dir(self, tmp_path_factory):
+        outdir = tmp_path_factory.mktemp("batch-corpus")
+        assert main(["corpus", str(outdir), "--implementations",
+                     "reno,linux-1.0", "--per-implementation", "1",
+                     "--size", "10240"]) == 0
+        return outdir
+
+    def test_reports_aggregate(self, corpus_dir, capsys):
+        assert main(["batch", str(corpus_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "batch aggregate" in out
+        assert "traces analyzed: 4" in out
+        assert "best-fit accuracy" in out
+
+    def test_jsonl_identical_across_job_counts(self, corpus_dir, tmp_path,
+                                               capsys):
+        seq = tmp_path / "seq.jsonl"
+        par = tmp_path / "par.jsonl"
+        assert main(["batch", str(corpus_dir), "--jobs", "1",
+                     "--jsonl", str(seq)]) == 0
+        assert main(["batch", str(corpus_dir), "--jobs", "2",
+                     "--jsonl", str(par)]) == 0
+        assert seq.read_bytes() == par.read_bytes()
+
+    def test_warm_cache_reports_all_hits(self, corpus_dir, tmp_path,
+                                         capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["batch", str(corpus_dir), "--cache", cache]) == 0
+        assert "cache: 0 hit(s), 4 miss(es)" in capsys.readouterr().out
+        assert main(["batch", str(corpus_dir), "--cache", cache]) == 0
+        assert "cache: 4 hit(s), 0 miss(es)" in capsys.readouterr().out
+
+    def test_empty_directory_exits_2(self, tmp_path, capsys):
+        assert main(["batch", str(tmp_path)]) == 2
+        assert "no .pcap traces" in capsys.readouterr().err
+
+    def test_damaged_trace_does_not_abort_the_run(self, corpus_dir,
+                                                  tmp_path, capsys):
+        import shutil
+        mixed = tmp_path / "mixed"
+        shutil.copytree(corpus_dir, mixed)
+        (mixed / "bad.pcap").write_bytes(b"garbage")
+        assert main(["batch", str(mixed)]) == 0
+        out = capsys.readouterr().out
+        assert "traces analyzed: 4" in out
+        assert "unanalyzable traces: 1" in out
+        assert "bad.pcap" in out
+
+    def test_unknown_corpus_implementation_exits_2(self, tmp_path, capsys):
+        assert main(["corpus", str(tmp_path / "c"),
+                     "--implementations", "renoo"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown implementation" in err
+        assert "renoo" in err
+
+
+class TestErrorPaths:
+    def test_analyze_missing_file_exits_2(self, tmp_path, capsys):
+        code = main(["analyze", str(tmp_path / "missing.pcap")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("tcpanaly:")
+        assert err.count("\n") == 1
+
+    def test_identify_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["identify", str(tmp_path / "missing.pcap")]) == 2
+        assert "tcpanaly:" in capsys.readouterr().err
+
+    def test_stats_non_pcap_exits_2(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.pcap"
+        bogus.write_bytes(b"definitely not a pcap capture file")
+        assert main(["stats", str(bogus)]) == 2
+        assert "unrecognized pcap magic" in capsys.readouterr().err
 
 
 class TestStatsCommand:

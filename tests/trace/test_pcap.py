@@ -74,6 +74,33 @@ class TestRoundTrip:
         assert sum(r.corrupted for r in loaded) == original_corrupt > 0
 
 
+class TestByteOrders:
+    @pytest.mark.parametrize("byte_order", ["big", "little"])
+    def test_round_trip_under_both_orders(self, wan_trace, tmp_path,
+                                          byte_order):
+        path = tmp_path / f"{byte_order}.pcap"
+        addresses = AddressMap()
+        write_pcap(wan_trace, path, addresses=addresses,
+                   byte_order=byte_order)
+        loaded = read_pcap(path, addresses=addresses)
+        assert len(loaded) == len(wan_trace)
+        for original, decoded in zip(wan_trace, loaded):
+            assert decoded.seq == original.seq
+            assert decoded.timestamp == pytest.approx(original.timestamp,
+                                                      abs=2e-6)
+
+    def test_little_endian_magic_is_swapped_on_disk(self, wan_trace,
+                                                    tmp_path):
+        path = tmp_path / "le.pcap"
+        write_pcap(wan_trace, path, byte_order="little")
+        magic, = struct.unpack(">I", path.read_bytes()[:4])
+        assert magic == 0xD4C3B2A1
+
+    def test_unknown_byte_order_rejected(self, wan_trace, tmp_path):
+        with pytest.raises(ValueError):
+            write_pcap(wan_trace, tmp_path / "x.pcap", byte_order="middle")
+
+
 class TestFileFormat:
     def test_magic_and_linktype(self, wan_trace, tmp_path):
         path = tmp_path / "trace.pcap"
