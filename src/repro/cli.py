@@ -20,10 +20,17 @@ Subcommands:
     synthetic analogue of the paper's Table 1 data set; with
     ``--analyze``, feed it straight into the batch pipeline.
 
-``batch CORPUS_DIR [--jobs N] [--cache DIR] [--jsonl OUT]``
+``batch CORPUS_DIR [--jobs N] [--cache DIR] [--jsonl OUT] [--stream]``
     Batch-analyze every pcap in a corpus directory across worker
     processes, with an optional on-disk result cache, per-trace JSONL
-    output, and a Table-1-style aggregate report.
+    output, and a Table-1-style aggregate report.  With ``--stream``,
+    each capture goes through the streaming ingest + flow-demux path
+    and multi-connection captures fan out into per-connection results.
+
+``demux TRACE.pcap [--identify] [--jsonl OUT]``
+    Stream a (possibly multi-connection, possibly damaged) capture
+    through the flow demultiplexer and print one tcpanaly report per
+    connection, plus ingest statistics.
 
 ``stats TRACE.pcap``
     Per-connection summary statistics (tcptrace-style); handles
@@ -131,6 +138,37 @@ def _command_calibrate(args: argparse.Namespace) -> int:
     return 1
 
 
+def _command_demux(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.stream import IngestStats, analyze_stream
+
+    stats = IngestStats()
+    flows = 0
+    jsonl_lines: list[str] = []
+    for flow_report in analyze_stream(
+            args.trace, identify=args.identify, stats=stats,
+            idle_timeout=args.idle_timeout, max_flows=args.max_flows,
+            syn_only=not args.no_syn_only):
+        flows += 1
+        flow = flow_report.flow
+        print(f"=== {flow_report.name}: {flow.describe()} ===")
+        print(flow_report.report.render())
+        print()
+        if args.jsonl:
+            payload = {"trace": f"{args.trace}#{flow_report.name}"}
+            payload.update(flow_report.to_dict())
+            jsonl_lines.append(json.dumps(payload, sort_keys=True))
+    print(f"{flows} connection(s) demultiplexed from {args.trace}")
+    print(stats.summary())
+    if args.jsonl:
+        with open(args.jsonl, "w") as handle:
+            for line in jsonl_lines:
+                handle.write(line + "\n")
+        print(f"wrote {flows} result(s) to {args.jsonl}")
+    return 0
+
+
 def _batch_run(items, args) -> int:
     """Shared tail of ``batch`` and ``corpus --analyze``."""
     from repro.pipeline import (
@@ -140,7 +178,8 @@ def _batch_run(items, args) -> int:
         write_jsonl,
     )
     cache = ResultCache(args.cache) if args.cache else None
-    batch = run_batch(items, jobs=args.jobs, cache=cache)
+    batch = run_batch(items, jobs=args.jobs, cache=cache,
+                      stream=getattr(args, "stream", False))
     if args.jsonl:
         write_jsonl(batch.results, args.jsonl)
         print(f"wrote {len(batch.results)} result(s) to {args.jsonl}")
@@ -275,7 +314,28 @@ def build_parser() -> argparse.ArgumentParser:
                        "trace content hash + catalog version)")
     batch.add_argument("--jsonl", default=None,
                        help="write per-trace results as JSON Lines")
+    batch.add_argument("--stream", action="store_true",
+                       help="use the streaming ingest + flow-demux path; "
+                       "multi-connection captures fan out into "
+                       "per-connection results")
     batch.set_defaults(handler=_command_batch)
+
+    demux = sub.add_parser("demux",
+                           help="stream a capture into per-connection "
+                           "reports")
+    demux.add_argument("trace")
+    demux.add_argument("--identify", action="store_true",
+                       help="also rank known implementations per flow")
+    demux.add_argument("--idle-timeout", type=float, default=64.0,
+                       help="seconds of silence before a flow is retired")
+    demux.add_argument("--max-flows", type=int, default=4096,
+                       help="live-flow cap (LRU eviction beyond it)")
+    demux.add_argument("--no-syn-only", action="store_true",
+                       help="admit mid-capture flows that never showed "
+                       "a SYN")
+    demux.add_argument("--jsonl", default=None,
+                       help="write per-flow results as JSON Lines")
+    demux.set_defaults(handler=_command_demux)
 
     stats = sub.add_parser("stats", help="per-connection statistics")
     stats.add_argument("trace")

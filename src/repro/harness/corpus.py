@@ -11,12 +11,14 @@ thousands if asked.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Iterable, Iterator
 
 from repro.harness.scenarios import SCENARIOS, TracedTransfer, traced_transfer
+from repro.packets import Endpoint
 from repro.tcp.catalog import CORE_STUDY, get_behavior
+from repro.trace.record import Trace, TraceRecord
 from repro.units import kbyte
 
 #: The default scenario rotation: a mix of clean, lossy, and
@@ -114,6 +116,119 @@ def write_corpus(outdir: str | Path,
             sender_path=sender_path, receiver_path=receiver_path,
             transfer=entry.transfer))
     return written
+
+
+@dataclass(frozen=True)
+class InterleavedFlow:
+    """Ground truth for one connection inside an interleaved capture."""
+
+    implementation: str
+    client: Endpoint       # the remapped connection-unique client endpoint
+    server: Endpoint
+    records: int
+    start: float           # capture-relative start time
+
+
+@dataclass
+class InterleavedCapture:
+    """A multi-connection capture plus its per-connection ground truth.
+
+    The synthetic analogue of a busy packet filter's output: many
+    connections to one server, overlapping in time, all in one trace —
+    the input the streaming demux subsystem exists to take apart.
+    """
+
+    trace: Trace
+    flows: list[InterleavedFlow]
+
+    @property
+    def connections(self) -> int:
+        return len(self.flows)
+
+
+def _client_endpoint(records: list[TraceRecord]) -> Endpoint:
+    """The connection initiator: sender of the first pure SYN."""
+    for record in records:
+        if record.is_syn and not record.has_ack:
+            return record.src
+    return records[0].src
+
+
+def interleave_traces(traces: Iterable[Trace],
+                      labels: Iterable[str],
+                      start_interval: float = 0.5,
+                      port_base: int = 40000) -> InterleavedCapture:
+    """Merge single-connection traces into one interleaved capture.
+
+    Connection *i* keeps its host names but has its client port
+    remapped to ``port_base + i`` (a busy server sees many ephemeral
+    client ports), and its clock shifted by ``i * start_interval`` so
+    the connections overlap in time.  Records are merged in timestamp
+    order (ties preserve connection order), exactly as a packet filter
+    would have recorded the interleaving.
+    """
+    merged: list[TraceRecord] = []
+    flows: list[InterleavedFlow] = []
+    for i, (trace, label) in enumerate(zip(traces, labels)):
+        if not trace.records:
+            continue
+        client = _client_endpoint(trace.records)
+        new_client = Endpoint(client.addr, port_base + i)
+        offset = i * start_interval
+        remapped = [
+            replace(record,
+                    src=new_client if record.src == client else record.src,
+                    dst=new_client if record.dst == client else record.dst,
+                    timestamp=record.timestamp + offset)
+            for record in trace.records
+        ]
+        first = remapped[0]
+        server = first.dst if first.src == new_client else first.src
+        flows.append(InterleavedFlow(
+            implementation=label, client=new_client, server=server,
+            records=len(remapped), start=first.timestamp))
+        merged.extend(remapped)
+    merged.sort(key=lambda record: record.timestamp)
+    return InterleavedCapture(trace=Trace(records=merged), flows=flows)
+
+
+def generate_interleaved_capture(implementations: Iterable[str] | None = None,
+                                 connections: int = 10,
+                                 scenarios: Iterable[str] = DEFAULT_ROTATION,
+                                 data_size: int = kbyte(20),
+                                 base_seed: int = 0,
+                                 start_interval: float = 0.5,
+                                 distinct_transfers: int = 8,
+                                 side: str = "sender",
+                                 port_base: int = 40000) -> InterleavedCapture:
+    """Synthesize a *connections*-way interleaved capture.
+
+    At most ``distinct_transfers`` transfers are actually simulated
+    (cycling implementations, scenarios, and seeds); further
+    connections reuse them with fresh client ports and shifted start
+    times, so captures with hundreds of connections stay cheap to
+    build.  *side* picks the vantage: ``"sender"`` or ``"receiver"``.
+    """
+    if side not in ("sender", "receiver"):
+        raise ValueError(f"side must be 'sender' or 'receiver', not {side!r}")
+    implementations = list(implementations or CORE_STUDY)
+    scenario_list = list(scenarios)
+    distinct = max(1, min(connections, distinct_transfers))
+    base: list[tuple[str, Trace]] = []
+    for i in range(distinct):
+        label = implementations[i % len(implementations)]
+        scenario = scenario_list[i % len(scenario_list)]
+        transfer = traced_transfer(get_behavior(label), scenario,
+                                   data_size=data_size,
+                                   seed=base_seed + i)
+        trace = transfer.sender_trace if side == "sender" \
+            else transfer.receiver_trace
+        base.append((label, trace))
+    labels = [base[i % distinct][0] for i in range(connections)]
+    traces = [base[i % distinct][1] for i in range(connections)]
+    return interleave_traces(traces, labels,
+                             start_interval=start_interval,
+                             port_base=port_base)
 
 
 def corpus_summary(entries: Iterable[CorpusEntry]) -> dict[str, dict]:

@@ -14,6 +14,7 @@ from repro.pipeline.runner import (
     BatchResult,
     TraceResult,
     analyze_item,
+    analyze_item_stream,
     corpus_items,
     memory_items,
     run_batch,
@@ -27,6 +28,7 @@ __all__ = [
     "TraceResult",
     "aggregate_report",
     "analyze_item",
+    "analyze_item_stream",
     "corpus_items",
     "file_digest",
     "memory_items",

@@ -139,6 +139,32 @@ def aggregate_report(batch: BatchResult) -> str:
         if count:
             lines.append(f"  {kind}: {count} finding(s)")
 
+    # Streaming-ingest accounting: one entry per source capture (every
+    # per-flow payload of a capture carries the same ingest dict).
+    ingest_by_capture: dict[str, dict] = {}
+    for payload in all_payloads:
+        ingest = payload.get("ingest")
+        if ingest:
+            ingest_by_capture.setdefault(payload["trace"].split("#")[0],
+                                         ingest)
+    if ingest_by_capture:
+        stats = list(ingest_by_capture.values())
+        def total(key):
+            return sum(s.get(key, 0) for s in stats)
+        lines.append("")
+        lines.append(f"streaming ingest ({len(stats)} capture(s)):")
+        lines.append(f"  packets {total('packets_seen')}, "
+                     f"decoded {total('records_decoded')}, "
+                     f"non-TCP {total('non_tcp_packets')}, "
+                     f"errors {total('decode_errors')}, "
+                     f"truncated {total('truncated_records')}")
+        lines.append(f"  flows opened {total('flows_opened')}, "
+                     f"retired {total('flows_retired')}, "
+                     f"evicted {total('flows_evicted')}, "
+                     f"orphan packets {total('orphan_packets')}, "
+                     f"peak live "
+                     f"{max(s.get('peak_live_flows', 0) for s in stats)}")
+
     lines.append("")
     lines.append(f"jobs: {batch.jobs}; cache: {batch.cache_hits} hit(s), "
                  f"{batch.cache_misses} miss(es)")

@@ -16,6 +16,7 @@ warm-cache runs all produce byte-identical JSONL output.
 
 from __future__ import annotations
 
+import functools
 import multiprocessing
 import time
 from dataclasses import dataclass, field
@@ -163,14 +164,62 @@ def analyze_item(item: BatchItem) -> dict:
     return payload
 
 
-def _timed_analyze(item: BatchItem) -> tuple[dict, float]:
+def analyze_item_stream(item: BatchItem) -> list[dict]:
+    """Streamed analysis: one payload per demultiplexed connection.
+
+    The streaming path (``iter_pcap`` → flow table → ``analyze_trace``)
+    fans a multi-connection capture out into per-connection payloads;
+    a single-connection capture keeps the item's own name, so corpus
+    aggregates match the eager path.  Every payload carries the
+    capture's ingest statistics.
+    """
+    from repro.stream import FlowReport, IngestStats, analyze_stream
+    from repro.stream.flowtable import demux_records
+
+    stats = IngestStats()
+    flow_reports: list[FlowReport] = []
+    try:
+        if item.trace is not None:
+            for flow in demux_records(item.trace.records, stats=stats):
+                flow_reports.append(FlowReport(
+                    flow=flow,
+                    report=analyze_trace(flow.to_trace(), identify=True)))
+        else:
+            flow_reports = list(analyze_stream(item.path, identify=True,
+                                               stats=stats))
+    except ValueError as error:
+        return [{"trace": item.name, "implementation": item.implementation,
+                 "error": str(error)}]
+    if not flow_reports:
+        return [{"trace": item.name, "implementation": item.implementation,
+                 "error": "no connections demultiplexed",
+                 "ingest": stats.to_dict()}]
+    ingest = stats.to_dict()
+    payloads = []
+    for flow_report in flow_reports:
+        name = item.name if len(flow_reports) == 1 \
+            else f"{item.name}#{flow_report.name}"
+        payload = {
+            "trace": name,
+            "implementation": item.implementation,
+            "records": len(flow_report.flow.records),
+        }
+        payload.update(flow_report.to_dict())
+        payload["ingest"] = ingest
+        payloads.append(payload)
+    return payloads
+
+
+def _timed_analyze(item: BatchItem,
+                   stream: bool = False) -> tuple[list[dict], float]:
     start = time.perf_counter()
-    payload = analyze_item(item)
-    return payload, time.perf_counter() - start
+    payloads = analyze_item_stream(item) if stream else [analyze_item(item)]
+    return payloads, time.perf_counter() - start
 
 
 def run_batch(items: list[BatchItem], jobs: int = 1,
-              cache: ResultCache | None = None) -> BatchResult:
+              cache: ResultCache | None = None,
+              stream: bool = False) -> BatchResult:
     """Run the analysis pipeline over *items* with *jobs* workers.
 
     Cache hits are resolved up front in the parent process, so a
@@ -178,6 +227,10 @@ def run_batch(items: list[BatchItem], jobs: int = 1,
     a plain sequential loop — no process pool, fully deterministic
     execution order — for debugging; higher job counts fan the
     cache-miss set out over a process pool.
+
+    With ``stream=True`` each capture goes through the streaming
+    ingest + demux path and may yield several per-connection results;
+    cache entries are keyed separately from eager-mode entries.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, not {jobs}")
@@ -187,24 +240,35 @@ def run_batch(items: list[BatchItem], jobs: int = 1,
     digests: dict[str, str] = {}
     for item in items:
         digest = item.content_digest()
+        if stream:
+            digest = f"stream:{digest}"
         digests[item.name] = digest
         cached = cache.get(digest) if cache is not None else None
         if cached is not None:
-            results.append(TraceResult(item.name, cached, cache_hit=True))
+            if stream:
+                for payload in cached.get("flows", []):
+                    results.append(TraceResult(payload["trace"], payload,
+                                               cache_hit=True))
+            else:
+                results.append(TraceResult(item.name, cached,
+                                           cache_hit=True))
         else:
             pending.append(item)
 
+    worker = functools.partial(_timed_analyze, stream=stream)
     if jobs == 1 or len(pending) <= 1:
-        computed = [_timed_analyze(item) for item in pending]
+        computed = [worker(item) for item in pending]
     else:
         with multiprocessing.Pool(processes=min(jobs, len(pending))) as pool:
-            computed = pool.map(_timed_analyze, pending, chunksize=1)
+            computed = pool.map(worker, pending, chunksize=1)
 
-    for item, (payload, elapsed) in zip(pending, computed):
+    for item, (payloads, elapsed) in zip(pending, computed):
         if cache is not None:
-            cache.put(digests[item.name], payload)
-        results.append(TraceResult(item.name, payload, cache_hit=False,
-                                   elapsed=elapsed))
+            cache.put(digests[item.name],
+                      {"flows": payloads} if stream else payloads[0])
+        for payload in payloads:
+            results.append(TraceResult(payload["trace"], payload,
+                                       cache_hit=False, elapsed=elapsed))
 
     results.sort(key=lambda result: result.name)
     return BatchResult(results=results, jobs=jobs,

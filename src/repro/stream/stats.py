@@ -1,0 +1,132 @@
+"""Ingest accounting for the streaming front end.
+
+Real packet-filter captures arrive damaged: truncated trailing
+records, cross-traffic the filter did not mean to keep, link types the
+reader has never heard of.  The paper's whole methodology (§3) starts
+from not trusting the measurement, so the streaming reader never
+silently discards — every skipped packet and every retired flow lands
+in an :class:`IngestStats`, and the first few of each anomaly carry a
+structured :class:`IngestWarning` explaining exactly what was seen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Cap on retained warning objects; beyond it only the count grows.
+DEFAULT_MAX_WARNINGS = 50
+
+
+@dataclass(frozen=True)
+class IngestWarning:
+    """One structured ingest anomaly.
+
+    ``kind`` is a stable machine-readable tag (``"truncated-record"``,
+    ``"non-tcp"``, ``"decode-error"``, ``"unknown-linktype"``);
+    ``packet_index`` is the zero-based ordinal of the offending packet
+    record in the capture, or -1 for file-level warnings.
+    """
+
+    kind: str
+    detail: str
+    packet_index: int = -1
+
+    def __str__(self) -> str:
+        where = f" (packet {self.packet_index})" if self.packet_index >= 0 \
+            else ""
+        return f"[{self.kind}]{where} {self.detail}"
+
+
+@dataclass
+class IngestStats:
+    """Counters for one streaming ingest run (reader + flow table)."""
+
+    # Reader-side counters.
+    packets_seen: int = 0        # raw pcap records encountered
+    bytes_seen: int = 0          # captured bytes (after link-layer strip)
+    records_decoded: int = 0     # TCP records successfully decoded
+    non_tcp_packets: int = 0     # IPv4 cross-traffic (UDP, ICMP, ...)
+    decode_errors: int = 0       # non-IP or malformed packets
+    truncated_records: int = 0   # partial trailing records
+
+    # Flow-table counters.
+    flows_opened: int = 0
+    flows_retired: int = 0       # all retirements, including evictions
+    flows_evicted: int = 0       # LRU-cap retirements only
+    orphan_packets: int = 0      # no live flow and no SYN to start one
+    live_flows: int = 0
+    peak_live_flows: int = 0
+    retired_by_reason: dict[str, int] = field(default_factory=dict)
+
+    warnings: list[IngestWarning] = field(default_factory=list)
+    warnings_total: int = 0      # including those dropped past the cap
+    max_warnings: int = DEFAULT_MAX_WARNINGS
+
+    def warn(self, kind: str, detail: str, packet_index: int = -1) -> None:
+        """Record a structured warning (capped; the count is not)."""
+        self.warnings_total += 1
+        if len(self.warnings) < self.max_warnings:
+            self.warnings.append(IngestWarning(kind=kind, detail=detail,
+                                               packet_index=packet_index))
+
+    def flow_opened(self) -> None:
+        self.flows_opened += 1
+        self.live_flows += 1
+        self.peak_live_flows = max(self.peak_live_flows, self.live_flows)
+
+    def flow_retired(self, reason: str) -> None:
+        self.flows_retired += 1
+        self.live_flows -= 1
+        self.retired_by_reason[reason] = \
+            self.retired_by_reason.get(reason, 0) + 1
+        if reason == "evicted":
+            self.flows_evicted += 1
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable, deterministic summary of the run."""
+        return {
+            "packets_seen": self.packets_seen,
+            "bytes_seen": self.bytes_seen,
+            "records_decoded": self.records_decoded,
+            "non_tcp_packets": self.non_tcp_packets,
+            "decode_errors": self.decode_errors,
+            "truncated_records": self.truncated_records,
+            "flows_opened": self.flows_opened,
+            "flows_retired": self.flows_retired,
+            "flows_evicted": self.flows_evicted,
+            "orphan_packets": self.orphan_packets,
+            "peak_live_flows": self.peak_live_flows,
+            "retired_by_reason": dict(sorted(
+                self.retired_by_reason.items())),
+            "warnings": self.warnings_total,
+        }
+
+    def summary(self) -> str:
+        """A human-readable ingest footer for CLI output."""
+        lines = [
+            f"ingest: {self.packets_seen} packets "
+            f"({self.bytes_seen} bytes), "
+            f"{self.records_decoded} TCP records decoded",
+        ]
+        skipped = []
+        if self.non_tcp_packets:
+            skipped.append(f"{self.non_tcp_packets} non-TCP")
+        if self.decode_errors:
+            skipped.append(f"{self.decode_errors} undecodable")
+        if self.truncated_records:
+            skipped.append(f"{self.truncated_records} truncated")
+        if self.orphan_packets:
+            skipped.append(f"{self.orphan_packets} orphaned")
+        if skipped:
+            lines.append(f"  skipped: {', '.join(skipped)}")
+        reasons = ", ".join(f"{count} by {reason}" for reason, count
+                            in sorted(self.retired_by_reason.items()))
+        lines.append(f"  flows: {self.flows_opened} opened, "
+                     f"{self.flows_retired} retired"
+                     + (f" ({reasons})" if reasons else "")
+                     + f", peak live {self.peak_live_flows}")
+        for warning in self.warnings[:10]:
+            lines.append(f"  warning {warning}")
+        if self.warnings_total > min(len(self.warnings), 10):
+            lines.append(f"  ... {self.warnings_total} warning(s) total")
+        return "\n".join(lines)

@@ -17,8 +17,8 @@ from __future__ import annotations
 import struct
 from pathlib import Path as FilePath
 
-from repro.trace.record import Trace, TraceRecord
-from repro.trace.wire import AddressMap, decode_packet, encode_record
+from repro.trace.record import Trace
+from repro.trace.wire import AddressMap, encode_record
 
 PCAP_MAGIC = 0xA1B2C3D4
 PCAP_MAGIC_SWAPPED = 0xD4C3B2A1
@@ -68,50 +68,19 @@ def read_pcap(path: str | FilePath,
               vantage: str = "", filter_name: str = "") -> Trace:
     """Read a pcap file into a :class:`Trace`.
 
+    A thin eager wrapper over :func:`repro.stream.reader.iter_pcap` —
+    one decode code path for both byte orders and for streaming and
+    materialized reads.  Non-TCP and mangled packets are skipped (as a
+    capture filter would drop them); a truncated final record is kept
+    as a partial result when its headers survive.
+
     Truncated packets (snaplen captures) decode with
     ``verify_checksum`` disabled, so their ``corrupted`` flag is
     always False — the analyzer must infer corruption, as the paper
     describes for header-only traces.
     """
-    with open(path, "rb") as handle:
-        header = handle.read(24)
-        if len(header) < 24:
-            raise ValueError(f"{path}: too short to be a pcap file")
-        # One detection path: read the magic big-endian.  A match means
-        # a big-endian file; the byte-swapped constant means the writer
-        # was little-endian; anything else is not a pcap file.
-        magic = struct.unpack(">I", header[:4])[0]
-        if magic == PCAP_MAGIC:
-            endian = ">"
-        elif magic == PCAP_MAGIC_SWAPPED:
-            endian = "<"
-        else:
-            raise ValueError(f"{path}: unrecognized pcap magic "
-                             f"{magic:#010x}")
-        _v_major, _v_minor, _tz, _sig, _snaplen, linktype = struct.unpack(
-            endian + "HHiIII", header[4:24])
-        if linktype not in (LINKTYPE_RAW, LINKTYPE_ETHERNET):
-            raise ValueError(f"{path}: unsupported link type {linktype}")
+    from repro.stream.reader import iter_pcap
 
-        records: list[TraceRecord] = []
-        while True:
-            packet_header = handle.read(16)
-            if len(packet_header) < 16:
-                break
-            seconds, micros, incl_len, orig_len = struct.unpack(
-                endian + "IIII", packet_header)
-            data = handle.read(incl_len)
-            if len(data) < incl_len:
-                break
-            if linktype == LINKTYPE_ETHERNET:
-                data = data[14:]  # strip the Ethernet header
-            timestamp = seconds + micros / 1e6
-            truncated = incl_len < orig_len
-            try:
-                record = decode_packet(data, timestamp, addresses,
-                                       verify_checksum=not truncated)
-            except ValueError:
-                continue  # non-TCP or mangled packet: skip, as a filter would
-            records.append(record)
+    records = list(iter_pcap(path, addresses=addresses, strict=True))
     return Trace(records=records, vantage=vantage, filter_name=filter_name,
                  reported_drops=None)

@@ -25,6 +25,23 @@ TCP_HEADER_LEN = 20
 PROTO_TCP = 6
 
 
+class PacketDecodeError(ValueError):
+    """A packet that cannot be decoded into a TCP trace record.
+
+    ``kind`` classifies the failure so streaming ingest can count
+    cross-traffic separately from damage:
+
+    - ``"non-ip"``: not an IPv4 datagram (IPv6, ARP, ...)
+    - ``"non-tcp"``: a well-formed IPv4 datagram carrying another
+      protocol (UDP and ICMP cross-traffic in real captures)
+    - ``"malformed"``: truncated or internally inconsistent headers
+    """
+
+    def __init__(self, kind: str, message: str) -> None:
+        super().__init__(message)
+        self.kind = kind
+
+
 class AddressMap:
     """Bidirectional mapping between symbolic host names and IPv4 text."""
 
@@ -126,25 +143,33 @@ def decode_packet(data: bytes, timestamp: float,
     ``corrupted`` flag reflects an actual TCP checksum failure.
     """
     if len(data) < IP_HEADER_LEN:
-        raise ValueError("packet shorter than an IP header")
+        raise PacketDecodeError("malformed", "packet shorter than an IP header")
     version_ihl = data[0]
     if version_ihl >> 4 != 4:
-        raise ValueError(f"not IPv4 (version {version_ihl >> 4})")
+        raise PacketDecodeError("non-ip",
+                                f"not IPv4 (version {version_ihl >> 4})")
     ihl = (version_ihl & 0x0F) * 4
+    if ihl < IP_HEADER_LEN:
+        raise PacketDecodeError("malformed",
+                                f"IPv4 header length {ihl} below minimum")
     total_len = struct.unpack("!H", data[2:4])[0]
     packet_id = struct.unpack("!H", data[4:6])[0]
     proto = data[9]
     if proto != PROTO_TCP:
-        raise ValueError(f"not TCP (protocol {proto})")
+        raise PacketDecodeError("non-tcp", f"not TCP (protocol {proto})")
     src_ip = _bytes_to_ip(data[12:16])
     dst_ip = _bytes_to_ip(data[16:20])
 
     tcp = data[ihl:]
     if len(tcp) < TCP_HEADER_LEN:
-        raise ValueError("packet shorter than a TCP header")
+        raise PacketDecodeError("malformed",
+                                "packet shorter than a TCP header")
     (src_port, dst_port, seq, ack, offset_byte, flags, window,
      _checksum, _urgent) = struct.unpack("!HHIIBBHHH", tcp[:20])
     header_len = (offset_byte >> 4) * 4
+    if header_len < TCP_HEADER_LEN:
+        raise PacketDecodeError("malformed",
+                                f"TCP data offset {header_len} below minimum")
     options = tcp[20:header_len]
     mss_option = None
     i = 0

@@ -1,10 +1,16 @@
 """Corpus generation (the Table 1 stand-in)."""
 
+import pytest
+
 from repro.harness.corpus import (
     corpus_summary,
     generate_corpus,
+    generate_interleaved_capture,
+    interleave_traces,
     write_corpus,
 )
+
+from tests.conftest import cached_transfer
 
 
 class TestGeneration:
@@ -59,6 +65,54 @@ class TestWriteCorpus:
         assert entry.sender_path.exists()
         assert entry.receiver_path.exists()
         assert len(entry.transfer.sender_trace) > 0
+
+
+class TestInterleavedCapture:
+    def test_connections_get_distinct_client_ports(self):
+        trace = cached_transfer("reno").sender_trace
+        capture = interleave_traces([trace, trace, trace],
+                                    ["reno"] * 3, port_base=41000)
+        assert [f.client.port for f in capture.flows] \
+            == [41000, 41001, 41002]
+        endpoints = {(r.src, r.dst) for r in capture.trace.records}
+        assert len({frozenset(pair) for pair in endpoints}) == 3
+
+    def test_starts_are_staggered_and_overlapping(self):
+        trace = cached_transfer("reno").sender_trace
+        capture = interleave_traces([trace, trace], ["reno", "reno"],
+                                    start_interval=0.3)
+        first, second = capture.flows
+        assert second.start - first.start == 0.3
+        duration = trace.records[-1].timestamp - trace.records[0].timestamp
+        assert duration > 0.3   # connection 1 starts before 0 finishes
+
+    def test_records_merged_in_timestamp_order(self):
+        trace = cached_transfer("reno").sender_trace
+        capture = interleave_traces([trace, trace], ["reno", "reno"],
+                                    start_interval=0.1)
+        times = [r.timestamp for r in capture.trace.records]
+        assert times == sorted(times)
+        assert len(capture.trace) == 2 * len(trace)
+
+    def test_generate_reuses_distinct_transfers(self):
+        capture = generate_interleaved_capture(
+            implementations=["reno"], connections=6,
+            distinct_transfers=2, data_size=10240,
+            scenarios=("wan",), start_interval=0.2)
+        assert capture.connections == 6
+        counts = [f.records for f in capture.flows]
+        assert counts[0] == counts[2] == counts[4]  # reused transfer
+
+    def test_receiver_side_capture(self):
+        capture = generate_interleaved_capture(
+            implementations=["reno"], connections=2,
+            distinct_transfers=1, data_size=10240,
+            scenarios=("wan",), side="receiver")
+        assert capture.connections == 2
+
+    def test_rejects_unknown_side(self):
+        with pytest.raises(ValueError):
+            generate_interleaved_capture(side="middle")
 
 
 class TestSummary:

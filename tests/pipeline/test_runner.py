@@ -130,3 +130,74 @@ class TestRunBatch:
         assert "identification" not in by_name["bad.pcap"]
         healthy = len(batch.results) - 1
         assert sum("error" not in p for p in by_name.values()) == healthy
+
+
+class TestStreamMode:
+    def test_single_connection_captures_keep_item_names(self, corpus_dir):
+        items = corpus_items(corpus_dir)
+        batch = run_batch(items, jobs=1, stream=True)
+        assert [r.name for r in batch.results] == [i.name for i in items]
+        for result in batch.results:
+            assert result.payload["flow"]["index"] == 0
+            assert result.payload["ingest"]["flows_opened"] == 1
+
+    def test_multi_connection_capture_fans_out(self, tmp_path):
+        from repro.harness.corpus import generate_interleaved_capture
+        from repro.trace.pcap import write_pcap
+        capture = generate_interleaved_capture(
+            implementations=["reno"], connections=3,
+            distinct_transfers=1, data_size=10240, scenarios=("wan",))
+        outdir = tmp_path / "caps"
+        outdir.mkdir()
+        write_pcap(capture.trace, outdir / "multi.pcap")
+        batch = run_batch(corpus_items(outdir), jobs=1, stream=True)
+        assert [r.name for r in batch.results] == [
+            "multi.pcap#flow-0000", "multi.pcap#flow-0001",
+            "multi.pcap#flow-0002"]
+        for result in batch.results:
+            assert result.payload["ingest"]["flows_opened"] == 3
+
+    def test_stream_parallel_matches_sequential(self, corpus_dir,
+                                                tmp_path):
+        items = corpus_items(corpus_dir)
+        sequential = run_batch(items, jobs=1, stream=True)
+        parallel = run_batch(items, jobs=2, stream=True)
+        write_jsonl(sequential.results, tmp_path / "seq.jsonl")
+        write_jsonl(parallel.results, tmp_path / "par.jsonl")
+        assert (tmp_path / "seq.jsonl").read_bytes() \
+            == (tmp_path / "par.jsonl").read_bytes()
+
+    def test_stream_cache_round_trips_fanout(self, tmp_path):
+        from repro.harness.corpus import generate_interleaved_capture
+        from repro.trace.pcap import write_pcap
+        capture = generate_interleaved_capture(
+            implementations=["reno"], connections=2,
+            distinct_transfers=1, data_size=10240, scenarios=("wan",))
+        outdir = tmp_path / "caps"
+        outdir.mkdir()
+        write_pcap(capture.trace, outdir / "multi.pcap")
+        cache = ResultCache(tmp_path / "cache")
+        cold = run_batch(corpus_items(outdir), jobs=1, stream=True,
+                         cache=cache)
+        warm = run_batch(corpus_items(outdir), jobs=1, stream=True,
+                         cache=cache)
+        assert warm.cache_misses == 0
+        assert [r.payload for r in warm.results] \
+            == [r.payload for r in cold.results]
+
+    def test_stream_memory_items_demux_in_memory(self, tmp_path):
+        written = write_corpus(tmp_path / "c", implementations=["reno"],
+                               traces_per_implementation=1,
+                               data_size=10240)
+        batch = run_batch(memory_items(written), jobs=1, stream=True)
+        assert len(batch.results) == 2
+        for result in batch.results:
+            assert result.payload["flow"]["saw_syn"]
+
+    def test_damaged_capture_yields_error_payload(self, tmp_path):
+        outdir = tmp_path / "caps"
+        outdir.mkdir()
+        (outdir / "bad.pcap").write_bytes(b"garbage")
+        batch = run_batch(corpus_items(outdir), jobs=1, stream=True)
+        payload, = [r.payload for r in batch.results]
+        assert "error" in payload

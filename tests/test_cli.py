@@ -204,6 +204,95 @@ class TestBatchCommand:
         assert "renoo" in err
 
 
+class TestDemuxCommand:
+    @pytest.fixture(scope="class")
+    def multi_pcap(self, tmp_path_factory):
+        from repro.harness.corpus import generate_interleaved_capture
+        from repro.trace.pcap import write_pcap
+        capture = generate_interleaved_capture(
+            implementations=["reno", "linux-1.0"], connections=4,
+            distinct_transfers=2, data_size=10240,
+            scenarios=("wan",), start_interval=0.2)
+        path = tmp_path_factory.mktemp("demux") / "multi.pcap"
+        write_pcap(capture.trace, path)
+        return str(path)
+
+    def test_one_report_per_connection(self, multi_pcap, capsys):
+        assert main(["demux", multi_pcap]) == 0
+        out = capsys.readouterr().out
+        assert "4 connection(s) demultiplexed" in out
+        assert "flow-0000" in out and "flow-0003" in out
+        assert "tcpanaly report" in out
+
+    def test_ingest_stats_printed(self, multi_pcap, capsys):
+        assert main(["demux", multi_pcap]) == 0
+        out = capsys.readouterr().out
+        assert "ingest:" in out
+        assert "flows: 4 opened, 4 retired" in out
+
+    def test_jsonl_output(self, multi_pcap, tmp_path, capsys):
+        jsonl = tmp_path / "flows.jsonl"
+        assert main(["demux", multi_pcap, "--jsonl", str(jsonl)]) == 0
+        import json
+        lines = [json.loads(line)
+                 for line in jsonl.read_text().splitlines()]
+        assert len(lines) == 4
+        assert all("flow" in line and "calibration" in line
+                   for line in lines)
+
+    def test_identify_ranks_per_flow(self, multi_pcap, capsys):
+        assert main(["demux", multi_pcap, "--identify"]) == 0
+        assert "implementation identification" in capsys.readouterr().out
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["demux", str(tmp_path / "missing.pcap")]) == 2
+        assert "tcpanaly:" in capsys.readouterr().err
+
+
+class TestBatchStream:
+    @pytest.fixture(scope="class")
+    def corpus_dir(self, tmp_path_factory):
+        outdir = tmp_path_factory.mktemp("stream-corpus")
+        assert main(["corpus", str(outdir), "--implementations",
+                     "reno,linux-1.0", "--per-implementation", "1",
+                     "--size", "10240"]) == 0
+        return outdir
+
+    def test_stream_matches_eager_aggregate(self, corpus_dir, capsys):
+        assert main(["batch", str(corpus_dir)]) == 0
+        eager = capsys.readouterr().out
+        assert main(["batch", str(corpus_dir), "--stream"]) == 0
+        streamed = capsys.readouterr().out
+        pick = [line for line in eager.splitlines()
+                if "accuracy" in line or "close-set" in line]
+        assert pick == [line for line in streamed.splitlines()
+                        if "accuracy" in line or "close-set" in line]
+        assert "streaming ingest (4 capture(s))" in streamed
+
+    def test_stream_cache_separate_from_eager(self, corpus_dir, tmp_path,
+                                              capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["batch", str(corpus_dir), "--cache", cache]) == 0
+        capsys.readouterr()
+        assert main(["batch", str(corpus_dir), "--cache", cache,
+                     "--stream"]) == 0
+        assert "cache: 0 hit(s), 4 miss(es)" in capsys.readouterr().out
+        assert main(["batch", str(corpus_dir), "--cache", cache,
+                     "--stream"]) == 0
+        assert "cache: 4 hit(s), 0 miss(es)" in capsys.readouterr().out
+
+    def test_stream_jsonl_carries_flow_and_ingest(self, corpus_dir,
+                                                  tmp_path, capsys):
+        import json
+        jsonl = tmp_path / "stream.jsonl"
+        assert main(["batch", str(corpus_dir), "--stream",
+                     "--jsonl", str(jsonl)]) == 0
+        lines = [json.loads(line)
+                 for line in jsonl.read_text().splitlines()]
+        assert len(lines) == 4
+        assert all("ingest" in line and "flow" in line for line in lines)
+
+
 class TestErrorPaths:
     def test_analyze_missing_file_exits_2(self, tmp_path, capsys):
         code = main(["analyze", str(tmp_path / "missing.pcap")])

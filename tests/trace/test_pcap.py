@@ -130,3 +130,22 @@ class TestFileFormat:
         path.write_bytes(data[:-10])
         loaded = read_pcap(path)
         assert len(loaded) == len(wan_trace) - 1
+
+    def test_final_packet_cut_after_headers_kept_as_partial(self, tmp_path):
+        """A trailing record that keeps its headers survives the cut."""
+        transfer = cached_transfer("reno")
+        trace = transfer.sender_trace
+        # Find a trailing data packet layout: rewrite the file so it
+        # ends right after the final record's 40 header bytes.
+        path = tmp_path / "trace.pcap"
+        data_record = next(r for r in reversed(trace.records)
+                           if r.payload > 0)
+        from repro.trace.record import Trace
+        write_pcap(Trace(records=[*trace.records[:3], data_record]), path)
+        whole = path.read_bytes()
+        cut = len(whole) - data_record.payload
+        path.write_bytes(whole[:cut])
+        loaded = read_pcap(path)
+        assert len(loaded) == 4
+        assert loaded[-1].payload == data_record.payload
+        assert not loaded[-1].corrupted   # checksum unverifiable

@@ -8,6 +8,7 @@ from repro.packets import ACK, FIN, PSH, SYN, Endpoint
 from repro.trace.record import TraceRecord
 from repro.trace.wire import (
     AddressMap,
+    PacketDecodeError,
     decode_packet,
     encode_record,
     internet_checksum,
@@ -124,6 +125,37 @@ class TestDecodeErrors:
         packet = encode_record(record(corrupted=True))
         decoded = decode_packet(packet[:40], 0.0, verify_checksum=False)
         assert not decoded.corrupted  # cannot tell from headers alone
+
+    def test_errors_carry_a_classifying_kind(self):
+        """Streaming ingest counts cross-traffic apart from damage."""
+        udp = bytearray(encode_record(record()))
+        udp[9] = 17
+        with pytest.raises(PacketDecodeError) as error:
+            decode_packet(bytes(udp), 0.0)
+        assert error.value.kind == "non-tcp"
+
+        ipv6 = bytearray(encode_record(record()))
+        ipv6[0] = 0x65
+        with pytest.raises(PacketDecodeError) as error:
+            decode_packet(bytes(ipv6), 0.0)
+        assert error.value.kind == "non-ip"
+
+        with pytest.raises(PacketDecodeError) as error:
+            decode_packet(b"\x45\x00", 0.0)
+        assert error.value.kind == "malformed"
+
+    def test_bad_header_lengths_are_malformed_not_crashes(self):
+        short_ihl = bytearray(encode_record(record()))
+        short_ihl[0] = 0x43  # IHL below the 20-byte minimum
+        with pytest.raises(PacketDecodeError) as error:
+            decode_packet(bytes(short_ihl), 0.0)
+        assert error.value.kind == "malformed"
+
+        bad_offset = bytearray(encode_record(record()))
+        bad_offset[20 + 12] = 0x10  # TCP data offset 4 (< 5 words)
+        with pytest.raises(PacketDecodeError) as error:
+            decode_packet(bytes(bad_offset), 0.0)
+        assert error.value.kind == "malformed"
 
 
 class TestAddressMap:
