@@ -22,7 +22,7 @@ from repro.core.sender.analyzer import (
     SenderAnalysis,
     _Replay,
     analyze_sender,
-    extract_facts,
+    extract_pass_one,
 )
 from repro.harness.scenarios import traced_transfer
 from repro.tcp.catalog import get_behavior
@@ -39,9 +39,10 @@ CASES = (
 
 def count_failures(trace, behavior, eager: bool) -> int:
     """Unexplainable data packets under the given feeding discipline."""
-    facts = extract_facts(trace)
-    state = _Replay(trace, behavior, facts,
-                    SenderAnalysis(behavior.label(), behavior, facts))
+    pass_one = extract_pass_one(trace)
+    state = _Replay(pass_one, behavior,
+                    SenderAnalysis(behavior.label(), behavior,
+                                   pass_one.facts))
     failures = 0
     for record in state.data:
         if eager:

@@ -69,11 +69,12 @@ def make_figure2_trace():
 def eager_first_inconsistency(trace):
     """The abandoned §4 one-pass design: process every recorded ack
     before each data packet; report the first impossible send."""
-    from repro.core.sender.analyzer import _Replay, SenderAnalysis, extract_facts
-    facts = extract_facts(trace)
+    from repro.core.sender.analyzer import (
+        _Replay, SenderAnalysis, extract_pass_one)
+    pass_one = extract_pass_one(trace)
     behavior = get_behavior("tahoe")
-    state = _Replay(trace, behavior, facts,
-                    SenderAnalysis("tahoe", behavior, facts))
+    state = _Replay(pass_one, behavior,
+                    SenderAnalysis("tahoe", behavior, pass_one.facts))
     for record in state.data:
         while state.acks_available_by(record.timestamp):
             state.feed_ack()

@@ -50,3 +50,23 @@ def test_perf_calibration(benchmark, big_transfer):
     trace = big_transfer.sender_trace
     report = benchmark(calibrate_trace, trace, get_behavior("reno"))
     assert report.clean
+
+
+def test_perf_identification(benchmark, big_transfer):
+    """Full-catalog identification through the engine path.
+
+    The engine replays every catalog entry (sharing pass one, pruning,
+    aborting hopeless replays), so its per-record cost is a few
+    candidates' worth of replay, not the whole catalog's.
+    """
+    from repro.core.engine import IdentificationEngine
+    trace = big_transfer.sender_trace
+    engine = IdentificationEngine()
+    report = benchmark(engine.identify_sender, trace)
+    assert report.best is not None and report.best.category == "close"
+    rate = len(trace) / benchmark.stats.stats.mean
+    emit("tool performance: full-catalog identification (engine)", [
+        f"trace: {len(trace)} records x {len(engine.candidates)} "
+        f"candidates; throughput ≈ {rate:,.0f} records/sec",
+    ])
+    assert rate > 2_000   # whole-catalog identification, not one replay

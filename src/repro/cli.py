@@ -5,8 +5,11 @@ Subcommands:
 ``analyze TRACE.pcap [--implementation LABEL] [--peer PEER.pcap]``
     Run calibration plus sender/receiver behavior analysis on a trace.
 
-``identify TRACE.pcap``
-    Run every known implementation against the trace and rank the fits.
+``identify TRACE.pcap [--receiver] [--exhaustive]``
+    Run every known implementation against the trace and rank the
+    fits.  Uses the shared-pass identification engine (prefilters,
+    replay sharing, early abort); ``--exhaustive`` forces the plain
+    one-full-analysis-per-candidate path the engine is equivalent to.
 
 ``simulate IMPLEMENTATION [--scenario NAME] [--size BYTES] [--out X]``
     Run a simulated bulk transfer with the named stack and write the
@@ -70,10 +73,15 @@ def _command_analyze(args: argparse.Namespace) -> int:
 
 
 def _command_identify(args: argparse.Namespace) -> int:
+    from repro.core.engine import IdentificationEngine
     trace = read_pcap(args.trace)
+    engine = None if args.exhaustive else IdentificationEngine()
     if args.receiver:
-        from repro.core.fit import identify_receiver
-        fits = identify_receiver(trace)
+        if engine is not None:
+            fits = engine.identify_receiver(trace)
+        else:
+            from repro.core.fit import identify_receiver
+            fits = identify_receiver(trace)
         for fit in fits:
             notes = ("; ".join(fit.inconsistencies)
                      if fit.inconsistencies else "")
@@ -81,7 +89,8 @@ def _command_identify(args: argparse.Namespace) -> int:
         close = [f.implementation for f in fits if f.category == "close"]
         print(f"\nacking-policy close fits: {', '.join(close) or 'none'}")
         return 0
-    report = identify_implementation(trace)
+    report = (engine.identify_sender(trace) if engine is not None
+              else identify_implementation(trace))
     print(report.summary())
     best = report.best
     if best is not None and best.category == "close":
@@ -262,6 +271,10 @@ def build_parser() -> argparse.ArgumentParser:
     identify = sub.add_parser("identify",
                               help="rank all known implementations")
     identify.add_argument("trace")
+    identify.add_argument("--exhaustive", action="store_true",
+                          help="disable the identification engine's "
+                          "pruning/sharing; run one full analysis per "
+                          "candidate")
     identify.add_argument("--receiver", action="store_true",
                           help="identify by receiver acking policy "
                           "instead of sender congestion behavior")

@@ -80,13 +80,18 @@ class CalibrationReport:
 
 
 def calibrate_trace(trace: Trace, behavior: TCPBehavior | None = None,
-                    peer_trace: Trace | None = None) -> CalibrationReport:
+                    peer_trace: Trace | None = None, *,
+                    sender_analysis=None) -> CalibrationReport:
     """Run every calibration check applicable to *trace*.
 
     ``behavior`` enables the behavior-dependent drop and resequencing
     checks (the most powerful ones need to know how the traced TCP
     manages its congestion window — §3.1.1).  ``peer_trace`` enables
-    the paired-trace timing analysis (§3.1.4).
+    the paired-trace timing analysis (§3.1.4).  ``sender_analysis``
+    optionally supplies an already-computed sender replay of
+    (*trace*, *behavior*) so those checks reuse it instead of
+    replaying again — only honoured if duplicate removal leaves the
+    trace untouched, since the replay must match the cleaned trace.
     """
     report = CalibrationReport(reported_drops=trace.reported_drops)
     report.time_travel = detect_time_travel(trace)
@@ -102,8 +107,11 @@ def calibrate_trace(trace: Trace, behavior: TCPBehavior | None = None,
     # Duplicates confuse every downstream check: work on the cleaned
     # trace from here on, as tcpanaly does (it discards later copies).
     cleaned = remove_duplicates(trace, report.duplicates)
-    report.resequencing = detect_resequencing(cleaned, behavior)
-    report.drop_evidence = run_drop_checks(cleaned, behavior)
+    shared = sender_analysis if cleaned is trace else None
+    report.resequencing = detect_resequencing(cleaned, behavior,
+                                              sender_analysis=shared)
+    report.drop_evidence = run_drop_checks(cleaned, behavior,
+                                           sender_analysis=shared)
     if peer_trace is not None:
         report.pair_analysis = analyze_trace_pair(cleaned, peer_trace)
     return report

@@ -49,7 +49,8 @@ class DropEvidence:
 
 def run_drop_checks(trace: Trace,
                     behavior: TCPBehavior | None = None,
-                    vantage: str | None = None) -> list[DropEvidence]:
+                    vantage: str | None = None,
+                    sender_analysis=None) -> list[DropEvidence]:
     """Run the checks valid at this trace's vantage point.
 
     Vantage matters (§3.2): a sequence gap at the *sender* proves the
@@ -57,7 +58,9 @@ def run_drop_checks(trace: Trace,
     the *receiver* it is an ordinary network drop; an unprovoked dup
     ack proves drops only at the receiver; and so on.  The behavior-
     dependent checks (window violation, fast-retransmit dup counting)
-    need *behavior* and are skipped without it.
+    need *behavior* and are skipped without it.  *sender_analysis*
+    supplies an already-computed replay of (*trace*, *behavior*) so
+    the window-violation check need not run its own.
     """
     if not trace.records:
         return []
@@ -75,7 +78,8 @@ def run_drop_checks(trace: Trace,
         evidence += check_sequence_gap(trace, flow)
         evidence += check_retransmission_of_unseen(trace, flow)
         if behavior is not None:
-            evidence += check_window_violation(trace, flow, behavior)
+            evidence += check_window_violation(trace, flow, behavior,
+                                               sender_analysis)
             evidence += check_fast_retransmit_without_dups(trace, flow,
                                                            behavior)
     else:
@@ -231,7 +235,8 @@ def check_retransmission_of_unseen(trace: Trace, flow) -> list[DropEvidence]:
 
 
 def check_window_violation(trace: Trace, flow,
-                           behavior: TCPBehavior) -> list[DropEvidence]:
+                           behavior: TCPBehavior,
+                           sender_analysis=None) -> list[DropEvidence]:
     """Check 3: data beyond the computed congestion window (§3.1.1).
 
     The most powerful check: it requires understanding exactly how the
@@ -240,11 +245,14 @@ def check_window_violation(trace: Trace, flow,
     implementation is otherwise known-good, indicates the filter
     dropped the ack(s) that would have opened the window.
     """
-    from repro.core.sender.analyzer import TraceUnusable, analyze_sender
-    try:
-        analysis = analyze_sender(trace, behavior)
-    except (TraceUnusable, ValueError):
-        return []
+    if sender_analysis is not None:
+        analysis = sender_analysis
+    else:
+        from repro.core.sender.analyzer import TraceUnusable, analyze_sender
+        try:
+            analysis = analyze_sender(trace, behavior)
+        except (TraceUnusable, ValueError):
+            return []
     return [DropEvidence("window_violation", v.record.timestamp,
                          v.note, v.record)
             for v in analysis.violations]

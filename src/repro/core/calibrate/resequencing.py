@@ -43,9 +43,13 @@ class ResequencingEvent:
 
 def detect_resequencing(trace: Trace,
                         behavior: TCPBehavior | None = None,
-                        vantage: str | None = None
-                        ) -> list[ResequencingEvent]:
-    """Run the resequencing detectors applicable at this vantage."""
+                        vantage: str | None = None,
+                        sender_analysis=None) -> list[ResequencingEvent]:
+    """Run the resequencing detectors applicable at this vantage.
+
+    *sender_analysis* supplies an already-computed replay of (*trace*,
+    *behavior*) so situation (ii) need not run its own.
+    """
     if not trace.records:
         return []
     try:
@@ -58,7 +62,8 @@ def detect_resequencing(trace: Trace,
     if vantage == "sender":
         events = detect_lull_then_ack(trace, flow)
         if behavior is not None:
-            events += detect_window_then_ack(trace, behavior)
+            events += detect_window_then_ack(trace, behavior,
+                                             sender_analysis)
     else:
         events = detect_ack_before_arrival(trace, flow)
     events.sort(key=lambda e: e.time)
@@ -145,14 +150,18 @@ def detect_ack_before_arrival(trace: Trace, flow) -> list[ResequencingEvent]:
 
 
 def detect_window_then_ack(trace: Trace,
-                           behavior: TCPBehavior) -> list[ResequencingEvent]:
+                           behavior: TCPBehavior,
+                           sender_analysis=None) -> list[ResequencingEvent]:
     """Situation (ii): window-violating data explained by a
     just-after ack — found by the sender analyzer's look-ahead."""
-    from repro.core.sender.analyzer import TraceUnusable, analyze_sender
-    try:
-        analysis = analyze_sender(trace, behavior)
-    except (TraceUnusable, ValueError):
-        return []
+    if sender_analysis is not None:
+        analysis = sender_analysis
+    else:
+        from repro.core.sender.analyzer import TraceUnusable, analyze_sender
+        try:
+            analysis = analyze_sender(trace, behavior)
+        except (TraceUnusable, ValueError):
+            return []
     return [
         ResequencingEvent("window_then_ack", clue.record.timestamp,
                           clue.record, None, clue.note)

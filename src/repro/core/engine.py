@@ -1,0 +1,272 @@
+"""The identification engine: shared-pass candidate fitting (§5, §6).
+
+:func:`repro.core.fit.identify_implementation` is the paper's loop at
+its most literal — every catalog entry gets a full, independent
+analysis — and it is the tool's hottest path.  This module produces
+the *same ranking* with far less work, by exploiting structure the
+exhaustive loop ignores:
+
+* **Shared pass one.**  Fact extraction (§6.2 window inference input,
+  MSS negotiation, the data/ack timelines) is candidate-independent;
+  the engine computes it once per trace and hands the same
+  :class:`~repro.core.sender.analyzer.SenderPassOne` /
+  :class:`~repro.core.receiver.analyzer.ReceiverPassOne` to every
+  candidate's pass-two replay.
+
+* **Replay equivalence classes.**  Two candidates whose behaviors
+  differ only in fields the sender replay never reads (acking policy,
+  connection-establishment timers, labels) replay identically, so the
+  engine replays each class once and relabels the analysis for the
+  other members.  The receiver replay reads just two policy fields,
+  collapsing the catalog to a handful of replays (per-candidate
+  *scoring* still runs for every member — it is cheap and reads the
+  full behavior).
+
+* **Static prefilters.**  A candidate whose fixed signature
+  contradicts the facts (it never offers an MSS option but the traced
+  SYN carries one; the trace shows more connection SYNs than its
+  retry limit allows) is disqualified without replaying at all.
+  These rules assert *definitional* contradictions the replay itself
+  cannot see, so a pruned candidate ranks as incorrect by fiat.
+
+* **Branch-and-bound early abort.**  Violations score 10 points each
+  and only ever accumulate (outside quench trials, whose rollback can
+  retract them), so a replay whose running violation count alone
+  pushes the score past :data:`~repro.core.fit.SCORE_SATURATION` —
+  where the rank key saturates and ties break on name — and past the
+  category-"incorrect" floor can stop: finishing it cannot change the
+  ranking or any category.  Candidates are ordered best-first (a
+  cheap ramp-shape signature) so a good fit completes early and the
+  hopeless majority aborts within a few dozen violations.
+
+The equivalence suite (tests/core/test_engine.py) holds the engine to
+byte-identical rankings and categories against the exhaustive oracle
+across the scenario corpus.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.tcp.catalog import CATALOG
+from repro.tcp.params import TCPBehavior
+from repro.trace.record import Trace
+
+from repro.core.fit import (
+    SCORE_SATURATION,
+    CandidateFit,
+    FitReport,
+    ReceiverFit,
+    categorize,
+    rank_key,
+    score_receiver_policy,
+)
+from repro.core.receiver.analyzer import (
+    ReceiverPassOne,
+    analyze_receiver,
+    extract_receiver_pass_one,
+)
+from repro.core.sender.analyzer import (
+    ConnectionFacts,
+    SenderPassOne,
+    TraceUnusable,
+    analyze_sender,
+    extract_pass_one,
+)
+
+#: TCPBehavior fields the sender replay never reads: identity labels,
+#: receiver acking policy, connection-establishment and persist
+#: timers, and fields consumed only by scoring or prefilters.  Two
+#: behaviors equal on every *other* field replay identically.
+_SENDER_IRRELEVANT = frozenset({
+    "name", "version", "lineage",
+    "ack_policy", "ack_every_segments", "delayed_ack_timeout",
+    "ack_on_consumption", "immediate_ack_on_hole_fill",
+    "response_delay",
+    "initial_syn_timeout", "syn_backoff_factor", "max_syn_retries",
+    "persist_interval", "persist_backoff", "max_persist_interval",
+    "max_data_retries", "sends_rst_on_abort",
+    "offers_mss_option",
+})
+
+#: The only TCPBehavior fields the receiver *replay* reads
+#: (:func:`repro.core.receiver.analyzer._arrival`); scoring reads
+#: more, but scoring runs per candidate anyway.
+_RECEIVER_RELEVANT = ("immediate_ack_on_hole_fill", "ack_on_consumption")
+
+
+def sender_signature(behavior: TCPBehavior) -> tuple:
+    """Hashable key under which sender replays are interchangeable."""
+    return tuple(getattr(behavior, f.name)
+                 for f in dataclasses.fields(behavior)
+                 if f.name not in _SENDER_IRRELEVANT)
+
+
+def receiver_signature(behavior: TCPBehavior) -> tuple:
+    """Hashable key under which receiver replays are interchangeable."""
+    return tuple(getattr(behavior, f) for f in _RECEIVER_RELEVANT)
+
+
+def prefilter_reason(facts: ConnectionFacts,
+                     behavior: TCPBehavior) -> str:
+    """Why *behavior* is statically impossible for *facts* ("" if not).
+
+    Only definitional contradictions belong here — facts the replay
+    does not check, where the behavior admits no trace that looks
+    like this one.
+    """
+    if facts.offered_mss_option and not behavior.offers_mss_option:
+        return ("trace SYN carries an MSS option; candidate never "
+                "offers one")
+    if facts.syn_count > behavior.max_syn_retries + 1:
+        return (f"trace shows {facts.syn_count} connection SYNs; "
+                f"candidate retries at most {behavior.max_syn_retries} "
+                f"times")
+    return ""
+
+
+def prefit_penalty(facts: ConnectionFacts, behavior: TCPBehavior) -> int:
+    """Best-first ordering heuristic: 0 = promising, 1 = doubtful.
+
+    A stack whose initial ssthresh is a single segment ramps linearly
+    from the start, so its early flight stays small; an exponential
+    opener blows past a few segments within the first few sends.
+    Ordering only — never affects the ranking, just how soon a good
+    fit completes and arms the early-abort bound.
+    """
+    slow_opener = behavior.initial_ssthresh_segments == 1
+    looks_slow = (facts.early_peak_flight
+                  <= 4 * max(facts.negotiated_mss, 1))
+    return 0 if slow_opener == looks_slow else 1
+
+
+class IdentificationEngine:
+    """Shared-pass, pruning, early-aborting candidate identification.
+
+    Stateless between traces apart from the candidate grouping, so a
+    single instance threads safely through a whole batch or stream
+    run.  The switches exist for the equivalence suite and ablation
+    benchmarks; production callers use the defaults.
+    """
+
+    def __init__(self, candidates: dict[str, TCPBehavior] | None = None, *,
+                 prefilter: bool = True, early_abort: bool = True,
+                 share_replays: bool = True):
+        self.candidates = dict(candidates or CATALOG)
+        self.prefilter = prefilter
+        self.early_abort = early_abort
+        self.share_replays = share_replays
+        names = sorted(self.candidates)
+        if share_replays:
+            sender_groups: dict[tuple, list[str]] = {}
+            receiver_groups: dict[tuple, list[str]] = {}
+            for name in names:
+                behavior = self.candidates[name]
+                sender_groups.setdefault(
+                    sender_signature(behavior), []).append(name)
+                receiver_groups.setdefault(
+                    receiver_signature(behavior), []).append(name)
+            self._sender_groups = list(sender_groups.values())
+            self._receiver_groups = list(receiver_groups.values())
+        else:
+            self._sender_groups = [[name] for name in names]
+            self._receiver_groups = [[name] for name in names]
+
+    # -- sender side -------------------------------------------------------
+
+    def identify_sender(self, trace: Trace | None = None, *,
+                        pass_one: SenderPassOne | None = None) -> FitReport:
+        """Rank every candidate against the trace (engine path)."""
+        if pass_one is None:
+            try:
+                pass_one = extract_pass_one(trace)
+            except (TraceUnusable, ValueError):
+                return self._all_unusable()
+        facts = pass_one.facts
+
+        fits: list[CandidateFit] = []
+        runnable: list[list[str]] = []
+        for group in self._sender_groups:
+            # Prefilter per member: the rules read exactly the fields
+            # the replay signature excludes, so one replay class can
+            # contain both pruned and surviving candidates.
+            survivors = []
+            for name in group:
+                reason = ""
+                if self.prefilter:
+                    reason = prefilter_reason(facts, self.candidates[name])
+                if reason:
+                    fits.append(CandidateFit(name, "incorrect",
+                                             pruned_reason=reason))
+                else:
+                    survivors.append(name)
+            if survivors:
+                runnable.append(survivors)
+        runnable.sort(key=lambda group: (
+            prefit_penalty(facts, self.candidates[group[0]]), group[0]))
+
+        best_completed: float | None = None
+        for group in runnable:
+            behavior = self.candidates[group[0]]
+            bound: float | None = None
+            if self.early_abort:
+                bound = (SCORE_SATURATION if best_completed is None
+                         else max(best_completed, SCORE_SATURATION))
+            analysis = analyze_sender(None, behavior, group[0],
+                                      pass_one=pass_one, abort_score=bound)
+            if analysis.replay_aborted:
+                lower_bound = analysis.violation_count * 10.0
+                for name in group:
+                    labelled = self._relabel(analysis, name, group[0])
+                    fits.append(CandidateFit(name, "incorrect", labelled,
+                                             lower_bound, aborted=True))
+                continue
+            score = (analysis.violation_count * 10.0
+                     + analysis.mean_response_delay)
+            category = categorize(analysis)
+            for name in group:
+                labelled = self._relabel(analysis, name, group[0])
+                fits.append(CandidateFit(name, category, labelled, score))
+            if best_completed is None or score < best_completed:
+                best_completed = score
+        fits.sort(key=rank_key)
+        return FitReport(fits=fits)
+
+    def _relabel(self, analysis, name: str, replayed_as: str):
+        """The group representative's analysis, relabelled for *name*.
+
+        A shallow field-level copy: the classification lists are
+        shared (read-only downstream), only the identity differs.
+        """
+        if name == replayed_as:
+            return analysis
+        return dataclasses.replace(analysis, implementation=name,
+                                   behavior=self.candidates[name])
+
+    def _all_unusable(self) -> FitReport:
+        fits = [CandidateFit(name, "unusable")
+                for name in sorted(self.candidates)]
+        return FitReport(fits=fits)
+
+    # -- receiver side -----------------------------------------------------
+
+    def identify_receiver(self, trace: Trace | None = None, *,
+                          pass_one: ReceiverPassOne | None = None,
+                          headers_only: bool = False) -> list[ReceiverFit]:
+        """Rank candidates by receiver acking policy (engine path)."""
+        if pass_one is None:
+            try:
+                pass_one = extract_receiver_pass_one(trace, headers_only)
+            except ValueError:
+                return [ReceiverFit(name, "unusable")
+                        for name in sorted(self.candidates)]
+        fits: list[ReceiverFit] = []
+        for group in self._receiver_groups:
+            analysis = analyze_receiver(None, self.candidates[group[0]],
+                                        group[0], pass_one=pass_one)
+            for name in group:
+                behavior = self.candidates[name]
+                labelled = self._relabel(analysis, name, group[0])
+                fits.append(score_receiver_policy(labelled, behavior))
+        fits.sort(key=lambda f: (f.score, f.implementation))
+        return fits

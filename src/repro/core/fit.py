@@ -31,6 +31,13 @@ CLOSE_DELAY = 0.030
 #: Beyond this mean response delay the model clearly misunderstands
 #: the TCP even if nothing violated outright.
 INCORRECT_DELAY = 0.250
+#: Fit scores at or above this value rank as ties (broken by name):
+#: a candidate ten violations deep is hopeless, and *how* hopeless
+#: carries no information.  Saturating the rank key is what lets the
+#: identification engine abort a replay once a candidate's violation
+#: lower bound crosses this line while still producing the exact
+#: ranking of the exhaustive path.
+SCORE_SATURATION = 100.0
 
 
 @dataclass
@@ -41,6 +48,12 @@ class CandidateFit:
     category: str              # close / imperfect / incorrect / unusable
     analysis: SenderAnalysis | None = None
     score: float = float("inf")
+    #: True when the engine's branch-and-bound cut the replay short;
+    #: ``score`` is then a lower bound (already past saturation).
+    aborted: bool = False
+    #: Non-empty when a static prefilter disqualified the candidate
+    #: without replaying it at all.
+    pruned_reason: str = ""
 
     @property
     def violations(self) -> int:
@@ -59,7 +72,23 @@ class CandidateFit:
                 self.analysis.mean_response_delay
         else:
             summary["score"] = None
+        if self.aborted:
+            summary["aborted"] = True
+            summary["score_lower_bound"] = self.score
+        if self.pruned_reason:
+            summary["pruned_reason"] = self.pruned_reason
         return summary
+
+
+def rank_key(fit: CandidateFit) -> tuple:
+    """Sort key shared by the exhaustive and engine paths.
+
+    Unusable last; scores saturate at :data:`SCORE_SATURATION`; ties
+    (including everything past saturation) break on implementation
+    name, so evaluation order never shows through in the ranking.
+    """
+    return (fit.analysis is None and not fit.pruned_reason,
+            min(fit.score, SCORE_SATURATION), fit.implementation)
 
 
 @dataclass
@@ -105,40 +134,51 @@ class FitReport:
         return "\n".join(lines)
 
 
-def fit_candidate(trace: Trace, behavior: TCPBehavior,
-                  implementation: str) -> CandidateFit:
-    """Analyze one candidate and categorize its fit."""
-    try:
-        analysis = analyze_sender(trace, behavior, implementation)
-    except (TraceUnusable, ValueError):
-        return CandidateFit(implementation, "unusable")
+def categorize(analysis: SenderAnalysis) -> str:
+    """Map a completed sender analysis to its fit category."""
     violations = analysis.violation_count
     mean_delay = analysis.mean_response_delay
     # Unexplained lulls and forced resyncs degrade the fit the same
     # way violations do; resequencing clues do not (they indict the
     # filter, not the model).
     if violations == 0 and mean_delay <= CLOSE_DELAY:
-        category = "close"
-    elif violations == 0 and mean_delay <= INCORRECT_DELAY:
-        category = "imperfect"
-    elif violations <= max(1, len(analysis.classifications) // 50) \
+        return "close"
+    if violations == 0 and mean_delay <= INCORRECT_DELAY:
+        return "imperfect"
+    if violations <= max(1, len(analysis.classifications) // 50) \
             and mean_delay <= INCORRECT_DELAY:
-        category = "imperfect"
-    else:
-        category = "incorrect"
+        return "imperfect"
+    return "incorrect"
+
+
+def fit_candidate(trace: Trace | None, behavior: TCPBehavior,
+                  implementation: str, *,
+                  pass_one=None) -> CandidateFit:
+    """Analyze one candidate and categorize its fit."""
+    try:
+        analysis = analyze_sender(trace, behavior, implementation,
+                                  pass_one=pass_one)
+    except (TraceUnusable, ValueError):
+        return CandidateFit(implementation, "unusable")
     # Score for ranking: violations dominate, then mean delay.
-    score = violations * 10.0 + mean_delay
-    return CandidateFit(implementation, category, analysis, score)
+    score = analysis.violation_count * 10.0 + analysis.mean_response_delay
+    return CandidateFit(implementation, categorize(analysis), analysis, score)
 
 
 def identify_implementation(trace: Trace,
                             candidates: dict[str, TCPBehavior] | None = None
                             ) -> FitReport:
-    """Run every candidate against *trace* and rank the fits."""
+    """Run every candidate against *trace* and rank the fits.
+
+    This is the exhaustive path: one full pass-one + replay per
+    candidate, no pruning.  :class:`repro.core.engine.IdentificationEngine`
+    produces the same ranking faster; this stays as the oracle the
+    engine's equivalence suite compares against.
+    """
     candidates = candidates or CATALOG
     fits = [fit_candidate(trace, behavior, implementation)
             for implementation, behavior in sorted(candidates.items())]
-    fits.sort(key=lambda f: (f.analysis is None, f.score))
+    fits.sort(key=rank_key)
     return FitReport(fits=fits)
 
 
@@ -300,5 +340,5 @@ def identify_receiver(trace: Trace,
             fits.append(ReceiverFit(implementation, "unusable"))
             continue
         fits.append(score_receiver_policy(analysis, behavior))
-    fits.sort(key=lambda f: f.score)
+    fits.sort(key=lambda f: (f.score, f.implementation))
     return fits

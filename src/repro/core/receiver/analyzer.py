@@ -39,7 +39,7 @@ from repro.core.receiver.obligations import (
 MANDATORY_ACK_DEADLINE = 0.075
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AckExplanation:
     """The analyzer's account of one outbound ack."""
 
@@ -94,35 +94,87 @@ class ReceiverAnalysis:
                 f"{len(self.inferred_corrupt)} inferred corrupt arrivals")
 
 
-def analyze_receiver(trace: Trace, behavior: TCPBehavior,
-                     implementation: str | None = None,
-                     headers_only: bool = False) -> ReceiverAnalysis:
-    """Analyze *trace*'s receiver behavior against *behavior*."""
-    analysis = ReceiverAnalysis(
-        implementation=implementation or behavior.label(),
-        behavior=behavior)
+@dataclass(slots=True)
+class ReceiverPassOne:
+    """Candidate-independent facts about a receiver-side trace.
+
+    The receiver replay depends on the candidate only through its
+    acking-policy fields; everything here — flow, sender segment size,
+    discarded arrivals, the arrival/ack event timeline — is computed
+    once per trace by :func:`extract_receiver_pass_one` and shared
+    across all candidate replays.
+    """
+
+    flow: FlowKey
+    full_size: int
+    syn_seq: int
+    events: list[TraceRecord]
+    discarded: frozenset[int]
+    verified_corrupt: list[TraceRecord]
+    inferred_corrupt: list[TraceRecord]
+    headers_only: bool
+
+
+def extract_receiver_pass_one(trace: Trace,
+                              headers_only: bool = False) -> ReceiverPassOne:
+    """Pass one of receiver analysis: facts and the event timeline."""
+    from repro.core.receiver import corruption
     flow = trace.primary_flow()           # the data direction (inbound here)
     reverse = flow.reversed()
-
     syn = next((r for r in trace if r.flow == flow and r.is_syn
                 and not r.has_ack), None)
     if syn is None:
         raise ValueError("trace does not contain the connection SYN")
     full_size = syn.mss_option if syn.mss_option is not None else 536
+    verified_corrupt: list[TraceRecord] = []
+    inferred_corrupt: list[TraceRecord] = []
+    if headers_only:
+        inferred_corrupt = corruption.inferred_discards(trace, flow)
+        discarded = frozenset(r.packet_id for r in inferred_corrupt)
+    else:
+        verified_corrupt = corruption.verified_discards(trace, flow)
+        discarded = frozenset(r.packet_id for r in verified_corrupt)
+    events = [r for r in trace
+              if (r.flow == flow and (r.payload > 0 or r.is_fin))
+              or (r.flow == reverse and r.has_ack and not r.is_syn)]
+    return ReceiverPassOne(
+        flow=flow, full_size=full_size, syn_seq=syn.seq, events=events,
+        discarded=discarded, verified_corrupt=verified_corrupt,
+        inferred_corrupt=inferred_corrupt, headers_only=headers_only)
+
+
+def analyze_receiver(trace: Trace | None, behavior: TCPBehavior,
+                     implementation: str | None = None,
+                     headers_only: bool = False, *,
+                     pass_one: ReceiverPassOne | None = None
+                     ) -> ReceiverAnalysis:
+    """Analyze *trace*'s receiver behavior against *behavior*.
+
+    ``pass_one`` supplies precomputed shared facts (*trace* may then
+    be ``None``; its ``headers_only`` choice wins).
+    """
+    if pass_one is None:
+        if trace is None:
+            raise TypeError("analyze_receiver needs a trace or a pass_one")
+        pass_one = extract_receiver_pass_one(trace, headers_only)
+    analysis = ReceiverAnalysis(
+        implementation=implementation or behavior.label(),
+        behavior=behavior)
+    flow = pass_one.flow
+    full_size = pass_one.full_size
     analysis.full_size = full_size
+    analysis.verified_corrupt = list(pass_one.verified_corrupt)
+    analysis.inferred_corrupt = list(pass_one.inferred_corrupt)
+    discarded = pass_one.discarded
 
-    discarded = _find_discards(trace, flow, headers_only, analysis)
-
-    rcv_nxt = (syn.seq + 1) % 2**32
+    rcv_nxt = (pass_one.syn_seq + 1) % 2**32
     last_ack_value = rcv_nxt
     last_window: int | None = None
     ooo: list[tuple[int, int]] = []
     tracker = ObligationTracker()
     fin_rcv_seq: int | None = None
 
-    events = [r for r in trace
-              if (r.flow == flow and (r.payload > 0 or r.is_fin))
-              or (r.flow == reverse and r.has_ack and not r.is_syn)]
+    events = pass_one.events
     last_arrival_time = float("-inf")
     for record in events:
         tracker.expire(record.timestamp, MANDATORY_ACK_DEADLINE)
@@ -149,21 +201,6 @@ def analyze_receiver(trace: Trace, behavior: TCPBehavior,
     tracker.expire(float("inf"), MANDATORY_ACK_DEADLINE)
     analysis.missed_obligations = tracker.missed
     return analysis
-
-
-def _find_discards(trace: Trace, flow: FlowKey, headers_only: bool,
-                   analysis: ReceiverAnalysis) -> set[int]:
-    """Identify arrivals the kernel discarded as corrupted (§7).
-
-    Full-content traces use checksum verification; header-only traces
-    use inference — see :mod:`repro.core.receiver.corruption`.
-    """
-    from repro.core.receiver import corruption
-    if headers_only:
-        analysis.inferred_corrupt = corruption.inferred_discards(trace, flow)
-        return {r.packet_id for r in analysis.inferred_corrupt}
-    analysis.verified_corrupt = corruption.verified_discards(trace, flow)
-    return {r.packet_id for r in analysis.verified_corrupt}
 
 
 def _arrival(record: TraceRecord, rcv_nxt: int,

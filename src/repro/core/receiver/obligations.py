@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 MAX_ACK_DELAY = 0.500
 
 
-@dataclass
+@dataclass(slots=True)
 class AckObligation:
     """One pending duty to acknowledge."""
 

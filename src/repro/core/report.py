@@ -14,19 +14,31 @@ from repro.tcp.params import TCPBehavior
 from repro.trace.record import Trace
 
 from repro.core.calibrate import CalibrationReport, calibrate_trace
-from repro.core.fit import (
-    FitReport,
-    ReceiverFit,
-    identify_implementation,
-    identify_receiver,
+from repro.core.engine import IdentificationEngine
+from repro.core.fit import FitReport, ReceiverFit
+from repro.core.receiver.analyzer import (
+    ReceiverAnalysis,
+    analyze_receiver,
+    extract_receiver_pass_one,
 )
-from repro.core.receiver.analyzer import ReceiverAnalysis, analyze_receiver
 from repro.core.sender.analyzer import (
     SenderAnalysis,
     TraceUnusable,
     analyze_sender,
+    extract_pass_one,
 )
 from repro.core.vantage import infer_vantage
+
+#: Engine shared by callers that do not thread their own through —
+#: built lazily so importing this module costs nothing extra.
+_default_engine: IdentificationEngine | None = None
+
+
+def default_engine() -> IdentificationEngine:
+    global _default_engine
+    if _default_engine is None:
+        _default_engine = IdentificationEngine()
+    return _default_engine
 
 
 @dataclass
@@ -111,7 +123,8 @@ class TraceReport:
 def analyze_trace(trace: Trace, behavior: TCPBehavior | None = None,
                   peer_trace: Trace | None = None,
                   identify: bool = False,
-                  headers_only: bool = False) -> TraceReport:
+                  headers_only: bool = False,
+                  engine: IdentificationEngine | None = None) -> TraceReport:
     """Run the full analysis pipeline on one trace.
 
     With *behavior* the behavior-specific checks run; with *identify*
@@ -119,25 +132,55 @@ def analyze_trace(trace: Trace, behavior: TCPBehavior | None = None,
     for sender traces, by acking policy for receiver traces.  The
     analysis appropriate to the trace's vantage is chosen
     automatically.
+
+    Pass-one fact extraction runs **once** per trace: the behavior
+    check and the identification engine replay against the same shared
+    facts.  *engine* threads a caller-owned
+    :class:`~repro.core.engine.IdentificationEngine` through (the
+    batch and stream pipelines reuse one across all their traces); by
+    default a module-level shared engine is used.
     """
     vantage = infer_vantage(trace)
-    calibration = calibrate_trace(trace, behavior, peer_trace)
-    report = TraceReport(vantage=vantage, calibration=calibration)
-    if behavior is not None:
-        if vantage == "sender":
-            try:
-                report.sender = analyze_sender(trace, behavior)
-            except TraceUnusable:
-                pass
-        else:
-            try:
-                report.receiver = analyze_receiver(
-                    trace, behavior, headers_only=headers_only)
-            except ValueError:
-                pass
+    want_analysis = behavior is not None or identify
+    sender_pass_one = receiver_pass_one = None
+    if want_analysis and vantage == "sender":
+        try:
+            sender_pass_one = extract_pass_one(trace)
+        except (TraceUnusable, ValueError):
+            pass
+    elif want_analysis:
+        try:
+            receiver_pass_one = extract_receiver_pass_one(
+                trace, headers_only)
+        except ValueError:
+            pass
+    sender_analysis = None
+    if behavior is not None and vantage == "sender" \
+            and sender_pass_one is not None:
+        sender_analysis = analyze_sender(None, behavior,
+                                         pass_one=sender_pass_one)
+    # Calibration's behavior-dependent checks reuse the replay above
+    # instead of re-running the sender analyzer on the same trace.
+    calibration = calibrate_trace(trace, behavior, peer_trace,
+                                  sender_analysis=sender_analysis)
+    report = TraceReport(vantage=vantage, calibration=calibration,
+                         sender=sender_analysis)
+    if behavior is not None and vantage != "sender" \
+            and receiver_pass_one is not None:
+        report.receiver = analyze_receiver(
+            None, behavior, headers_only=headers_only,
+            pass_one=receiver_pass_one)
     if identify:
+        if engine is None:
+            engine = default_engine()
         if vantage == "sender":
-            report.identification = identify_implementation(trace)
+            report.identification = engine.identify_sender(
+                trace, pass_one=sender_pass_one)
+        elif headers_only and receiver_pass_one is not None:
+            # Identification always replays the full-content trace
+            # semantics; a headers-only pass one is not equivalent.
+            report.receiver_identification = engine.identify_receiver(trace)
         else:
-            report.receiver_identification = identify_receiver(trace)
+            report.receiver_identification = engine.identify_receiver(
+                trace, pass_one=receiver_pass_one)
     return report

@@ -53,7 +53,7 @@ QUENCH_DELAY_THRESHOLD = 0.1
 QUIRK_WINDOW = 0.05
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Classification:
     """The analyzer's explanation of one observed data packet."""
 
@@ -67,7 +67,11 @@ class Classification:
     flight: int = 0
 
 
-@dataclass
+#: How many leading data packets the early-ramp statistic covers.
+EARLY_RAMP_PACKETS = 10
+
+
+@dataclass(slots=True)
 class ConnectionFacts:
     """Pass-one facts about the traced connection."""
 
@@ -83,6 +87,33 @@ class ConnectionFacts:
     total_data: int
     data_count: int
     fin_seen: bool
+    #: Whether the traced sender's own SYN carried an MSS option —
+    #: a static signature the identification engine prefilters on.
+    offered_mss_option: bool = True
+    #: Number of connection-opening SYNs the sender transmitted.
+    syn_count: int = 1
+    #: Peak bytes in flight over the first ``EARLY_RAMP_PACKETS`` data
+    #: packets: separates slow-starting stacks (initial ssthresh of
+    #: one segment) from exponential openers, cheaply.
+    early_peak_flight: int = 0
+
+
+@dataclass(slots=True)
+class SenderPassOne:
+    """Everything candidate-independent about a sender-side trace.
+
+    Pass one of the paper's two-pass design (§6), made explicit: the
+    connection facts plus the data/ack event timelines every
+    candidate's pass-two replay consumes.  Computed once per trace by
+    :func:`extract_pass_one` and shared — read-only — across all
+    candidate replays, instead of being re-derived per candidate.
+    """
+
+    facts: ConnectionFacts
+    #: Primary-flow data packets, in trace order.
+    data: list[TraceRecord]
+    #: Reverse-direction acks at/after the SYN-ack, in trace order.
+    acks: list[TraceRecord]
 
 
 @dataclass
@@ -99,6 +130,9 @@ class SenderAnalysis:
     inferred_quenches: list[float] = field(default_factory=list)
     inferred_sender_window: int | None = None
     notes: list[str] = field(default_factory=list)
+    #: True when branch-and-bound identification cut this replay short;
+    #: violation/delay tallies are then lower bounds, not final values.
+    replay_aborted: bool = False
 
     @property
     def response_delays(self) -> list[float]:
@@ -148,8 +182,12 @@ class TraceUnusable(ValueError):
     """The trace lacks what sender analysis needs (handshake, data)."""
 
 
-def extract_facts(trace: Trace) -> ConnectionFacts:
-    """Pass one: connection parameters and flight statistics."""
+def extract_pass_one(trace: Trace) -> SenderPassOne:
+    """Pass one: facts plus the data/ack timelines, in a single scan.
+
+    Candidate-independent, so identification computes this once and
+    replays every catalog entry against the same result.
+    """
     flow = trace.primary_flow()
     reverse = flow.reversed()
     syn = next((r for r in trace if r.flow == flow and r.is_syn
@@ -163,44 +201,80 @@ def extract_facts(trace: Trace) -> ConnectionFacts:
     peer_offered = synack.mss_option is not None
     negotiated = min(offered_mss,
                      synack.mss_option if peer_offered else 536)
+    synack_time = synack.timestamp
 
     highest_sent = (syn.seq + 1) % 2**32
     highest_ack = highest_sent
     max_in_flight = 0
+    early_peak_flight = 0
     total_data = 0
     data_count = 0
+    syn_count = 0
     fin_seen = False
+    data: list[TraceRecord] = []
+    acks: list[TraceRecord] = []
     for record in trace:
-        if record.flow == flow and record.payload > 0:
-            data_count += 1
-            if seq_gt(record.seq_end, highest_sent):
-                total_data += seq_diff(record.seq_end, highest_sent)
-                highest_sent = record.seq_end
-            max_in_flight = max(max_in_flight,
-                                seq_diff(highest_sent, highest_ack))
+        if record.flow == flow:
+            if record.payload > 0:
+                data.append(record)
+                data_count += 1
+                if seq_gt(record.seq_end, highest_sent):
+                    total_data += seq_diff(record.seq_end, highest_sent)
+                    highest_sent = record.seq_end
+                in_flight = seq_diff(highest_sent, highest_ack)
+                if in_flight > max_in_flight:
+                    max_in_flight = in_flight
+                if (data_count <= EARLY_RAMP_PACKETS
+                        and in_flight > early_peak_flight):
+                    early_peak_flight = in_flight
+            if record.is_syn and not record.has_ack:
+                syn_count += 1
+            if record.is_fin:
+                fin_seen = True
         elif record.flow == reverse and record.has_ack:
+            if not record.is_syn and record.timestamp >= synack_time:
+                acks.append(record)
             if seq_gt(record.ack, highest_ack):
                 highest_ack = record.ack
-        if record.flow == flow and record.is_fin:
-            fin_seen = True
-    return ConnectionFacts(
+    facts = ConnectionFacts(
         flow=flow, iss=syn.seq, irs=synack.seq, offered_mss=offered_mss,
         negotiated_mss=negotiated, peer_offered_mss_option=peer_offered,
-        synack_time=synack.timestamp,
+        synack_time=synack_time,
         initial_offered_window=synack.window,
         max_in_flight=max_in_flight, total_data=total_data,
-        data_count=data_count, fin_seen=fin_seen)
+        data_count=data_count, fin_seen=fin_seen,
+        offered_mss_option=syn.mss_option is not None,
+        syn_count=max(syn_count, 1),
+        early_peak_flight=early_peak_flight)
+    return SenderPassOne(facts=facts, data=data, acks=acks)
 
 
-def analyze_sender(trace: Trace, behavior: TCPBehavior,
-                   implementation: str | None = None) -> SenderAnalysis:
-    """Analyze *trace*'s sender behavior against *behavior* (§6)."""
-    facts = extract_facts(trace)
+def extract_facts(trace: Trace) -> ConnectionFacts:
+    """Pass one: connection parameters and flight statistics."""
+    return extract_pass_one(trace).facts
+
+
+def analyze_sender(trace: Trace | None, behavior: TCPBehavior,
+                   implementation: str | None = None, *,
+                   pass_one: SenderPassOne | None = None,
+                   abort_score: float | None = None) -> SenderAnalysis:
+    """Analyze *trace*'s sender behavior against *behavior* (§6).
+
+    ``pass_one`` supplies precomputed shared facts (*trace* may then be
+    ``None``); ``abort_score`` enables branch-and-bound early abort —
+    the replay stops, marking ``replay_aborted``, once the running
+    violation count alone proves the fit score must exceed it.
+    """
+    if pass_one is None:
+        if trace is None:
+            raise TypeError("analyze_sender needs a trace or a pass_one")
+        pass_one = extract_pass_one(trace)
     analysis = SenderAnalysis(
         implementation=implementation or behavior.label(),
-        behavior=behavior, facts=facts)
-    _replay(trace, behavior, facts, analysis)
-    _infer_sender_window(behavior, facts, analysis)
+        behavior=behavior, facts=pass_one.facts)
+    _replay(pass_one, behavior, analysis, abort_score=abort_score)
+    if not analysis.replay_aborted:
+        _infer_sender_window(behavior, pass_one.facts, analysis)
     return analysis
 
 
@@ -212,21 +286,19 @@ def analyze_sender(trace: Trace, behavior: TCPBehavior,
 class _Replay:
     """Working state for one replay pass."""
 
-    def __init__(self, trace: Trace, behavior: TCPBehavior,
-                 facts: ConnectionFacts, analysis: SenderAnalysis):
+    def __init__(self, pass_one: SenderPassOne, behavior: TCPBehavior,
+                 analysis: SenderAnalysis):
+        facts = pass_one.facts
         self.behavior = behavior
         self.facts = facts
         self.analysis = analysis
-        reverse = facts.flow.reversed()
         self.model = SenderModel(
             behavior, facts.negotiated_mss, facts.iss, facts.offered_mss,
             facts.peer_offered_mss_option, facts.synack_time,
             facts.initial_offered_window)
-        self.acks = [r for r in trace
-                     if r.flow == reverse and r.has_ack and not r.is_syn
-                     and r.timestamp >= facts.synack_time]
-        self.data = [r for r in trace
-                     if r.flow == facts.flow and r.payload > 0]
+        # Shared, read-only timelines from pass one.
+        self.acks = pass_one.acks
+        self.data = pass_one.data
         self.next_ack = 0
         self.flight_resend_next: int | None = None
         self.last_send_time = facts.synack_time
@@ -346,10 +418,9 @@ class _QuenchTrial:
     """A tentative quench hypothesis awaiting verification."""
 
     def __init__(self, state: _Replay, start_index: int):
-        import copy
         self.start_index = start_index
         self.packets_left = QUENCH_TRIAL_PACKETS
-        self.model = copy.deepcopy(state.model)
+        self.model = state.model.clone()
         self.next_ack = state.next_ack
         self.flight_resend_next = state.flight_resend_next
         self.last_send_time = state.last_send_time
@@ -375,9 +446,17 @@ class _QuenchTrial:
         return self.start_index
 
 
-def _replay(trace: Trace, behavior: TCPBehavior, facts: ConnectionFacts,
-            analysis: SenderAnalysis) -> None:
-    state = _Replay(trace, behavior, facts, analysis)
+def _replay(pass_one: SenderPassOne, behavior: TCPBehavior,
+            analysis: SenderAnalysis,
+            abort_score: float | None = None) -> None:
+    state = _Replay(pass_one, behavior, analysis)
+    # Early-abort bound (branch-and-bound over candidates): once the
+    # violation count alone — worth 10 score points apiece — provably
+    # pushes this candidate's fit score past ``abort_score`` AND past
+    # the category-"incorrect" floor, finishing the replay cannot
+    # change the identification outcome.  Checked only outside quench
+    # trials, because a trial rollback can retract violations.
+    incorrect_floor = max(1, len(state.data) // 50)
 
     index = 0
     trial: _QuenchTrial | None = None
@@ -439,6 +518,15 @@ def _replay(trace: Trace, behavior: TCPBehavior, facts: ConnectionFacts,
             if trial.packets_left <= 0:
                 trial = None      # verified: the quench stands
         index += 1
+        if (abort_score is not None and trial is None
+                and len(analysis.violations) > incorrect_floor
+                and len(analysis.violations) * 10.0 > abort_score):
+            analysis.replay_aborted = True
+            analysis.notes.append(
+                f"replay aborted after {index} of {len(state.data)} data "
+                f"packets: {len(analysis.violations)} violations already "
+                f"exceed the best completed fit")
+            return
 
     # Drain remaining acks so end-of-connection state is complete.
     while state.next_ack < len(state.acks):

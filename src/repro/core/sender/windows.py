@@ -28,7 +28,7 @@ from repro.trace.record import TraceRecord
 from repro.units import seq_diff, seq_ge, seq_gt, seq_le, seq_lt
 
 
-@dataclass
+@dataclass(frozen=True, slots=True)
 class Liberation:
     """A window advance: at ``time``, sending up to ``high`` became
     permissible."""
@@ -49,6 +49,18 @@ class WindowLedger:
     def __init__(self, initial_time: float, initial_high: int):
         self._entries: list[Liberation] = [Liberation(initial_time,
                                                       initial_high)]
+
+    def clone(self) -> "WindowLedger":
+        """An independent copy sharing the (immutable) entries.
+
+        Entry objects are frozen and the ledger only ever replaces or
+        appends them, so a shallow list copy gives full isolation at a
+        fraction of a deep copy's cost — this runs once per quench
+        trial, squarely on the identification hot path.
+        """
+        dup = WindowLedger.__new__(WindowLedger)
+        dup._entries = self._entries[:]
+        return dup
 
     @property
     def current_high(self) -> int:
@@ -77,11 +89,27 @@ class WindowLedger:
 
     def permissible_since(self, seq_end: int) -> float | None:
         """When sending a packet ending at *seq_end* first became
-        permissible, or None if it is not permitted at all."""
-        for entry in self._entries:
-            if seq_ge(entry.high, seq_end):
-                return entry.time
-        return None
+        permissible, or None if it is not permitted at all.
+
+        Entries are strictly increasing in sequence order, so the
+        first entry whose ``high`` covers *seq_end* is found by binary
+        search on the distance from the oldest entry — the ledger
+        grows with the connection, and a linear scan here turns long
+        replays quadratic.
+        """
+        entries = self._entries
+        base = entries[0].high
+        target = seq_diff(seq_end, base)
+        lo, hi = 0, len(entries)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if seq_diff(entries[mid].high, base) >= target:
+                hi = mid
+            else:
+                lo = mid + 1
+        if lo == len(entries):
+            return None
+        return entries[lo].time
 
 
 class SenderModel:
@@ -134,6 +162,24 @@ class SenderModel:
         self.ledger = WindowLedger(start_time, self._window_limit())
         self.last_ack_time = start_time
         self.last_advance_time = start_time
+
+    def clone(self) -> "SenderModel":
+        """A fully independent snapshot of the model state.
+
+        Scalars are copied wholesale; the four mutable containers get
+        their own shallow copies (their elements — frozen records,
+        frozen ledger entries, ints, floats — are never mutated in
+        place).  Quench trials snapshot the model before every
+        hypothesis, so this must stay cheap: a ``copy.deepcopy`` here
+        once dominated the entire identification run.
+        """
+        dup = SenderModel.__new__(SenderModel)
+        dup.__dict__.update(self.__dict__)
+        dup._rexmitted_starts = set(self._rexmitted_starts)
+        dup._first_sent = dict(self._first_sent)
+        dup.ledger = self.ledger.clone()
+        dup.estimator = self.estimator.clone()
+        return dup
 
     # -- window geometry --------------------------------------------------
 

@@ -23,6 +23,11 @@ from pathlib import Path
 from repro.tcp.catalog import catalog_version
 from repro.trace.record import Trace
 
+#: Version of the analysis payload schema.  Bump whenever the payload
+#: shape or analysis semantics change (new fields, different scoring),
+#: so stale entries from older code cannot be served as hits.
+ANALYSIS_SCHEMA_VERSION = 2
+
 
 def file_digest(path: str | Path) -> str:
     """Content digest of a trace file on disk."""
@@ -60,9 +65,10 @@ class ResultCache:
         self.catalog_version = catalog_version()
 
     def key(self, content_digest: str) -> str:
-        """The full cache key: trace content plus catalog version."""
+        """The full cache key: trace content, catalog, payload schema."""
         return hashlib.sha256(
-            f"{content_digest}:{self.catalog_version}".encode()).hexdigest()
+            f"{content_digest}:{self.catalog_version}"
+            f":s{ANALYSIS_SCHEMA_VERSION}".encode()).hexdigest()
 
     def _path(self, content_digest: str) -> Path:
         return self.root / f"{self.key(content_digest)}.json"

@@ -210,11 +210,18 @@ def analyze_item_stream(item: BatchItem) -> list[dict]:
     return payloads
 
 
-def _timed_analyze(item: BatchItem,
-                   stream: bool = False) -> tuple[list[dict], float]:
+def _indexed_analyze(indexed_item: tuple[int, BatchItem],
+                     stream: bool = False) -> tuple[int, list[dict], float]:
+    """Analyze one item, tagged with its input index.
+
+    The tag lets ``imap_unordered`` results — which arrive in
+    completion order — be restored to input order in the parent, so
+    the dispatch strategy never shows through in the output.
+    """
+    index, item = indexed_item
     start = time.perf_counter()
     payloads = analyze_item_stream(item) if stream else [analyze_item(item)]
-    return payloads, time.perf_counter() - start
+    return index, payloads, time.perf_counter() - start
 
 
 def run_batch(items: list[BatchItem], jobs: int = 1,
@@ -255,14 +262,22 @@ def run_batch(items: list[BatchItem], jobs: int = 1,
         else:
             pending.append(item)
 
-    worker = functools.partial(_timed_analyze, stream=stream)
+    worker = functools.partial(_indexed_analyze, stream=stream)
     if jobs == 1 or len(pending) <= 1:
-        computed = [worker(item) for item in pending]
+        computed = [worker(indexed) for indexed in enumerate(pending)]
     else:
-        with multiprocessing.Pool(processes=min(jobs, len(pending))) as pool:
-            computed = pool.map(worker, pending, chunksize=1)
+        workers = min(jobs, len(pending))
+        # Chunks amortize IPC without starving workers at the tail:
+        # ~4 chunks per worker keeps the pool balanced even when trace
+        # analysis times vary widely.
+        chunk = max(1, len(pending) // (workers * 4))
+        with multiprocessing.Pool(processes=workers) as pool:
+            computed = list(pool.imap_unordered(worker, enumerate(pending),
+                                                chunksize=chunk))
+    computed.sort(key=lambda entry: entry[0])
 
-    for item, (payloads, elapsed) in zip(pending, computed):
+    for index, payloads, elapsed in computed:
+        item = pending[index]
         if cache is not None:
             cache.put(digests[item.name],
                       {"flows": payloads} if stream else payloads[0])

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from pathlib import Path as FilePath
 from typing import Iterator
 
+from repro.core.engine import IdentificationEngine
 from repro.core.report import TraceReport, analyze_trace
 from repro.stream.flowtable import Flow, demux_records
 from repro.stream.reader import iter_pcap
@@ -74,16 +75,21 @@ def analyze_stream(path: str | FilePath,
                    addresses: AddressMap | None = None,
                    stats: IngestStats | None = None,
                    strict: bool = False,
+                   engine: IdentificationEngine | None = None,
                    **table_options) -> Iterator[FlowReport]:
     """Analyze every connection in *path*, yielding reports lazily.
 
     Peak memory is bounded by the live-flow set, not the capture
     length: each flow is analyzed and released as soon as it
-    completes.
+    completes.  A single identification engine (the caller's, or one
+    built here) serves every flow in the capture.
     """
+    if identify and engine is None:
+        engine = IdentificationEngine()
     for flow in demux_pcap(path, addresses=addresses, stats=stats,
                            strict=strict, **table_options):
         report = analyze_trace(flow.to_trace(), behavior,
                                identify=identify,
-                               headers_only=headers_only)
+                               headers_only=headers_only,
+                               engine=engine)
         yield FlowReport(flow=flow, report=report)

@@ -45,7 +45,7 @@ def _endpoint_order(endpoint: Endpoint) -> tuple[str, int]:
     return (endpoint.addr, endpoint.port)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ConnectionKey:
     """A connection identifier: the unordered endpoint pair.
 
@@ -71,7 +71,7 @@ class ConnectionKey:
         return f"{self.a} <-> {self.b}"
 
 
-@dataclass
+@dataclass(slots=True)
 class Flow:
     """One demultiplexed connection: its records plus lifecycle facts."""
 

@@ -56,6 +56,18 @@ class RTOEstimator:
     def reset_backoff(self) -> None:
         self.backoff_shift = 0
 
+    def clone(self) -> "RTOEstimator":
+        """An independent copy of the estimator state.
+
+        Every estimator's state is a handful of scalars plus the
+        shared (frozen) behavior, so copying the instance dict is both
+        exact and cheap — the analyzer snapshots estimators on every
+        quench trial.
+        """
+        dup = self.__class__.__new__(self.__class__)
+        dup.__dict__.update(self.__dict__)
+        return dup
+
 
 class JacobsonEstimator(RTOEstimator):
     """RFC 6298-style srtt/rttvar with Karn's algorithm."""

@@ -21,9 +21,14 @@ from repro.packets import ACK, Endpoint, FlowKey, Segment, flags_to_string
 from repro.units import seq_diff
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
-    """One packet as captured: timestamp plus header fields."""
+    """One packet as captured: timestamp plus header fields.
+
+    ``slots=True`` matters here: corpus runs hold millions of records
+    live, and every replay touches each one several times — slots cut
+    both the per-record footprint and attribute-lookup cost.
+    """
 
     timestamp: float
     src: Endpoint

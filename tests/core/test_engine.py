@@ -1,0 +1,276 @@
+"""The identification engine's one promise: same answer, less work.
+
+The engine (repro.core.engine) shares pass-one facts, replays each
+behavior-equivalence class once, prefilters statically impossible
+candidates, and aborts hopeless replays — every trick is only
+admissible because the resulting ranking is identical to the
+exhaustive oracle's.  These tests pin that equivalence across the
+catalog and the scenario corpus, plus the engine-specific behaviors
+(abort marking, pruning, determinism) and the slots regression for
+the hot dataclasses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.engine import (
+    IdentificationEngine,
+    prefilter_reason,
+    receiver_signature,
+    sender_signature,
+)
+from repro.core.fit import (
+    SCORE_SATURATION,
+    identify_implementation,
+    identify_receiver,
+)
+from repro.core.report import analyze_trace
+from repro.core.sender.analyzer import extract_pass_one
+from repro.tcp.catalog import CATALOG, get_behavior
+from repro.trace.record import TraceRecord
+
+from tests.conftest import cached_transfer
+
+
+def ranking(fits):
+    return [(fit.implementation, fit.category) for fit in fits]
+
+
+SENDER_CASES = [
+    ("reno", "wan"),
+    ("reno", "wan-lossy"),
+    ("tahoe", "wan-lossy"),
+    ("linux-1.0", "wan-lossy"),
+    ("linux-2.0.30", "wan"),
+    ("solaris-2.4", "transatlantic"),
+    ("windows-95", "wan"),
+    ("irix-6.2", "wan-lossy"),
+]
+
+
+class TestSenderEquivalence:
+    @pytest.mark.parametrize("implementation,scenario", SENDER_CASES)
+    def test_ranking_and_categories_match_exhaustive(
+            self, implementation, scenario):
+        trace = cached_transfer(implementation, scenario).sender_trace
+        exhaustive = identify_implementation(trace)
+        engine = IdentificationEngine().identify_sender(trace)
+        assert ranking(engine.fits) == ranking(exhaustive.fits)
+
+    @pytest.mark.parametrize("implementation,scenario", SENDER_CASES)
+    def test_completed_scores_match_exhaustive(self, implementation,
+                                               scenario):
+        trace = cached_transfer(implementation, scenario).sender_trace
+        exhaustive_scores = {fit.implementation: fit.score
+                             for fit in identify_implementation(trace).fits}
+        for fit in IdentificationEngine().identify_sender(trace).fits:
+            if fit.aborted or fit.pruned_reason:
+                # Cut-short scores are lower bounds, already past the
+                # point where the rank key saturates.
+                assert fit.score >= SCORE_SATURATION or fit.analysis is None
+            else:
+                assert fit.score == exhaustive_scores[fit.implementation]
+
+    def test_engine_switches_do_not_change_the_ranking(self):
+        trace = cached_transfer("reno", "wan-lossy").sender_trace
+        expected = ranking(identify_implementation(trace).fits)
+        for switches in ({"prefilter": False}, {"early_abort": False},
+                         {"share_replays": False}):
+            engine = IdentificationEngine(**switches)
+            assert ranking(engine.identify_sender(trace).fits) == expected
+
+    def test_unusable_trace_ranks_everything_unusable(self):
+        transfer = cached_transfer("reno", "wan")
+        records = [r for r in transfer.sender_trace if not r.is_syn]
+        trace = dataclasses.replace(transfer.sender_trace, records=records)
+        report = IdentificationEngine().identify_sender(trace)
+        assert all(fit.category == "unusable" for fit in report.fits)
+        assert ranking(report.fits) == ranking(
+            identify_implementation(trace).fits)
+
+
+class TestReceiverEquivalence:
+    @pytest.mark.parametrize("implementation,scenario", [
+        ("reno", "wan-lossy"),
+        ("solaris-2.3", "wan-lossy"),
+        ("solaris-2.4", "wan"),
+        ("windows-NT", "wan-lossy"),
+    ])
+    def test_fits_match_exhaustive_exactly(self, implementation, scenario):
+        trace = cached_transfer(implementation, scenario).receiver_trace
+        exhaustive = identify_receiver(trace)
+        engine = IdentificationEngine().identify_receiver(trace)
+        assert [(f.implementation, f.category, f.score, f.inconsistencies)
+                for f in engine] \
+            == [(f.implementation, f.category, f.score, f.inconsistencies)
+                for f in exhaustive]
+
+    def test_receiver_classes_collapse_the_catalog(self):
+        signatures = {receiver_signature(b) for b in CATALOG.values()}
+        assert len(signatures) < len(CATALOG) // 2
+
+
+class TestEarlyAbort:
+    def test_hopeless_candidates_are_marked_aborted(self):
+        trace = cached_transfer("reno", "wan-lossy").sender_trace
+        report = IdentificationEngine().identify_sender(trace)
+        aborted = [fit for fit in report.fits if fit.aborted]
+        assert aborted, "wan-lossy reno should make some candidates abort"
+        for fit in aborted:
+            assert fit.category == "incorrect"
+            assert fit.score >= SCORE_SATURATION
+            assert fit.analysis is not None
+            assert fit.analysis.replay_aborted
+            payload = fit.to_dict()
+            assert payload["aborted"] is True
+            assert payload["score_lower_bound"] == fit.score
+
+    def test_abort_disabled_leaves_no_marks(self):
+        trace = cached_transfer("reno", "wan-lossy").sender_trace
+        report = IdentificationEngine(
+            early_abort=False).identify_sender(trace)
+        assert not any(fit.aborted for fit in report.fits)
+
+
+class TestPrefilter:
+    def test_mss_prefilter_rule(self):
+        facts = extract_pass_one(
+            cached_transfer("reno", "wan").sender_trace).facts
+        assert facts.offered_mss_option
+        reno = get_behavior("reno")
+        assert prefilter_reason(facts, reno) == ""
+        no_mss = dataclasses.replace(reno, offers_mss_option=False)
+        assert "MSS option" in prefilter_reason(facts, no_mss)
+
+    def test_pruned_candidate_leaves_survivors_unchanged(self):
+        trace = cached_transfer("reno", "wan").sender_trace
+        reno = get_behavior("reno")
+        candidates = {
+            "reno": reno,
+            "tahoe": get_behavior("tahoe"),
+            "mss-less": dataclasses.replace(reno, offers_mss_option=False),
+        }
+        report = IdentificationEngine(candidates).identify_sender(trace)
+        by_name = {fit.implementation: fit for fit in report.fits}
+        pruned = by_name["mss-less"]
+        assert pruned.pruned_reason
+        assert pruned.category == "incorrect"
+        assert pruned.analysis is None
+        assert pruned.to_dict()["pruned_reason"] == pruned.pruned_reason
+        # Survivors carry exactly the categories and scores the
+        # exhaustive path assigns them.
+        surviving = {n: b for n, b in candidates.items() if n != "mss-less"}
+        exhaustive = identify_implementation(trace, surviving)
+        for fit in exhaustive.fits:
+            assert by_name[fit.implementation].category == fit.category
+            assert by_name[fit.implementation].score == fit.score
+
+    def test_prefilters_never_fire_on_the_catalog(self):
+        # The shipped rules are definitional; every real catalog entry
+        # offers an MSS option and tolerates a handful of SYNs, so on
+        # catalog candidates the engine must rely on replay alone.
+        facts = extract_pass_one(
+            cached_transfer("reno", "wan").sender_trace).facts
+        assert all(prefilter_reason(facts, behavior) == ""
+                   for behavior in CATALOG.values())
+
+
+class TestDeterminism:
+    def test_equal_scores_rank_by_name_in_both_paths(self):
+        trace = cached_transfer("reno", "wan").sender_trace
+        reno = get_behavior("reno")
+        candidates = {"zz-twin": reno, "aa-twin": reno}
+        exhaustive = identify_implementation(trace, candidates)
+        engine = IdentificationEngine(candidates).identify_sender(trace)
+        assert [f.implementation for f in exhaustive.fits] \
+            == ["aa-twin", "zz-twin"]
+        assert ranking(engine.fits) == ranking(exhaustive.fits)
+        assert engine.fits[0].score == engine.fits[1].score
+
+    def test_shared_replays_relabel_for_every_member(self):
+        trace = cached_transfer("tahoe", "wan").sender_trace
+        engine = IdentificationEngine()
+        groups = {tuple(g) for g in engine._sender_groups if len(g) > 1}
+        assert ("sunos-4.1.3", "tahoe") in groups
+        report = engine.identify_sender(trace)
+        for fit in report.fits:
+            if fit.analysis is not None:
+                assert fit.analysis.implementation == fit.implementation
+
+    def test_sender_classes_are_nontrivial(self):
+        signatures = {sender_signature(b) for b in CATALOG.values()}
+        assert len(signatures) < len(CATALOG)
+
+
+class TestSharedPassOne:
+    def test_analyze_trace_extracts_facts_exactly_once(self, monkeypatch):
+        import repro.core.report as report_module
+        import repro.core.sender.analyzer as analyzer_module
+        calls = []
+        real = analyzer_module.extract_pass_one
+
+        def counting(trace):
+            calls.append(trace)
+            return real(trace)
+
+        monkeypatch.setattr(analyzer_module, "extract_pass_one", counting)
+        monkeypatch.setattr(report_module, "extract_pass_one", counting)
+        trace = cached_transfer("reno", "wan").sender_trace
+        report = analyze_trace(trace, get_behavior("reno"), identify=True)
+        assert report.sender is not None
+        assert report.identification is not None
+        assert len(calls) == 1
+
+    def test_analyze_trace_uses_the_engine_path(self, monkeypatch):
+        import repro.core.fit as fit_module
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError("exhaustive path used for identification")
+
+        monkeypatch.setattr(fit_module, "identify_implementation", forbidden)
+        monkeypatch.setattr(fit_module, "identify_receiver", forbidden)
+        transfer = cached_transfer("reno", "wan")
+        sender = analyze_trace(transfer.sender_trace, identify=True)
+        assert sender.identification is not None
+        assert sender.identification.best.category == "close"
+        receiver = analyze_trace(transfer.receiver_trace, identify=True)
+        assert receiver.receiver_identification is not None
+
+    def test_report_matches_pre_engine_shape(self):
+        trace = cached_transfer("reno", "wan").sender_trace
+        report = analyze_trace(trace, identify=True)
+        payload = report.to_dict()
+        assert payload["identification"]["best"] == \
+            identify_implementation(trace).best.implementation
+
+
+class TestSlots:
+    def test_trace_record_rejects_stray_attributes(self):
+        record = cached_transfer("reno", "wan").sender_trace.records[0]
+        assert not hasattr(record, "__dict__")
+        with pytest.raises((AttributeError, TypeError)):
+            object.__setattr__(record, "stray", 1)
+
+    def test_flow_rejects_stray_attributes(self):
+        from repro.stream.flowtable import ConnectionKey, Flow
+        endpoints = cached_transfer("reno", "wan").sender_trace.records[0]
+        key = ConnectionKey.of(endpoints.src, endpoints.dst)
+        flow = Flow(key=key, index=0)
+        assert not hasattr(flow, "__dict__")
+        with pytest.raises(AttributeError):
+            flow.stray = 1
+
+    def test_classification_is_slotted(self):
+        from repro.core.sender.analyzer import Classification
+        record = cached_transfer("reno", "wan").sender_trace.records[0]
+        classification = Classification(record, "new")
+        assert not hasattr(classification, "__dict__")
+
+    def test_slotted_records_still_pickle(self):
+        # Batch workers ship traces across process boundaries.
+        import pickle
+        record = cached_transfer("reno", "wan").sender_trace.records[0]
+        assert pickle.loads(pickle.dumps(record)) == record
