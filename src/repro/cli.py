@@ -23,12 +23,18 @@ Subcommands:
     synthetic analogue of the paper's Table 1 data set; with
     ``--analyze``, feed it straight into the batch pipeline.
 
-``batch CORPUS_DIR [--jobs N] [--cache DIR] [--jsonl OUT] [--stream]``
-    Batch-analyze every pcap in a corpus directory across worker
-    processes, with an optional on-disk result cache, per-trace JSONL
-    output, and a Table-1-style aggregate report.  With ``--stream``,
-    each capture goes through the streaming ingest + flow-demux path
-    and multi-connection captures fan out into per-connection results.
+``batch CORPUS_DIR [--jobs N] [--cache DIR] [--jsonl OUT] [--stream]
+[--timeout S] [--retries N] [--journal PATH] [--resume]``
+    Batch-analyze every pcap in a corpus directory across supervised
+    worker processes, with an optional on-disk result cache, per-trace
+    JSONL output, and a Table-1-style aggregate report.  Pathological
+    traces are quarantined (classified ``error_kind`` payloads) rather
+    than aborting the run: worker crashes are retried then quarantined,
+    per-trace timeouts kill quasi-hung analyses, and a checkpoint
+    journal makes an interrupted run resumable with ``--resume``.
+    With ``--stream``, each capture goes through the streaming ingest
+    + flow-demux path and multi-connection captures fan out into
+    per-connection results.
 
 ``demux TRACE.pcap [--identify] [--jsonl OUT]``
     Stream a (possibly multi-connection, possibly damaged) capture
@@ -154,21 +160,31 @@ def _command_demux(args: argparse.Namespace) -> int:
 
     stats = IngestStats()
     flows = 0
+    quarantined = 0
     jsonl_lines: list[str] = []
     for flow_report in analyze_stream(
             args.trace, identify=args.identify, stats=stats,
+            tolerant=True,
             idle_timeout=args.idle_timeout, max_flows=args.max_flows,
             syn_only=not args.no_syn_only):
         flows += 1
         flow = flow_report.flow
         print(f"=== {flow_report.name}: {flow.describe()} ===")
-        print(flow_report.report.render())
+        if flow_report.error is not None:
+            quarantined += 1
+            print(f"analysis failed [{flow_report.error.kind}]: "
+                  f"{flow_report.error.message}")
+        else:
+            print(flow_report.report.render())
         print()
         if args.jsonl:
             payload = {"trace": f"{args.trace}#{flow_report.name}"}
             payload.update(flow_report.to_dict())
             jsonl_lines.append(json.dumps(payload, sort_keys=True))
     print(f"{flows} connection(s) demultiplexed from {args.trace}")
+    if quarantined:
+        print(f"{quarantined} connection(s) quarantined "
+              f"(analysis failed; see error_kind)")
     print(stats.summary())
     if args.jsonl:
         with open(args.jsonl, "w") as handle:
@@ -178,7 +194,7 @@ def _command_demux(args: argparse.Namespace) -> int:
     return 0
 
 
-def _batch_run(items, args) -> int:
+def _batch_run(items, args, journal=None) -> int:
     """Shared tail of ``batch`` and ``corpus --analyze``."""
     from repro.pipeline import (
         ResultCache,
@@ -187,8 +203,18 @@ def _batch_run(items, args) -> int:
         write_jsonl,
     )
     cache = ResultCache(args.cache) if args.cache else None
-    batch = run_batch(items, jobs=args.jobs, cache=cache,
-                      stream=getattr(args, "stream", False))
+    timeout = getattr(args, "timeout", None)
+    if timeout is not None and timeout <= 0:
+        timeout = None   # --timeout 0: no budget, plain in-process path
+    try:
+        batch = run_batch(items, jobs=args.jobs, cache=cache,
+                          stream=getattr(args, "stream", False),
+                          timeout=timeout,
+                          retries=getattr(args, "retries", 2),
+                          journal=journal)
+    finally:
+        if journal is not None:
+            journal.close()
     if args.jsonl:
         write_jsonl(batch.results, args.jsonl)
         print(f"wrote {len(batch.results)} result(s) to {args.jsonl}")
@@ -197,8 +223,20 @@ def _batch_run(items, args) -> int:
 
 
 def _command_batch(args: argparse.Namespace) -> int:
-    from repro.pipeline import corpus_items
-    return _batch_run(corpus_items(args.corpus_dir), args)
+    from pathlib import Path
+
+    from repro.pipeline import BatchJournal, corpus_items
+    items = corpus_items(args.corpus_dir)
+    journal = None
+    if not args.no_journal:
+        path = args.journal or Path(args.corpus_dir) \
+            / ".tcpanaly-journal.jsonl"
+        journal = BatchJournal(path, stream=args.stream,
+                               resume=args.resume)
+        if args.resume and len(journal):
+            print(f"resuming from {path}: {len(journal)} item(s) "
+                  f"already completed")
+    return _batch_run(items, args, journal=journal)
 
 
 def _command_corpus(args: argparse.Namespace) -> int:
@@ -331,6 +369,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="use the streaming ingest + flow-demux path; "
                        "multi-connection captures fan out into "
                        "per-connection results")
+    batch.add_argument("--timeout", type=float, default=300.0,
+                       help="per-trace wall-clock timeout in seconds; a "
+                       "trace still running past it is killed and "
+                       "quarantined as error_kind \"timeout\" (0 "
+                       "disables the budget and the worker supervisor)")
+    batch.add_argument("--retries", type=int, default=2,
+                       help="how many times a trace whose worker crashed "
+                       "is requeued before being quarantined as "
+                       "error_kind \"crash\"")
+    batch.add_argument("--journal", default=None,
+                       help="checkpoint journal path (default: "
+                       "CORPUS_DIR/.tcpanaly-journal.jsonl); completed "
+                       "items are recorded durably as they finish")
+    batch.add_argument("--no-journal", action="store_true",
+                       help="disable the checkpoint journal")
+    batch.add_argument("--resume", action="store_true",
+                       help="replay items already completed in the "
+                       "journal and analyze only the remainder; the "
+                       "final output is byte-identical to an "
+                       "uninterrupted run")
     batch.set_defaults(handler=_command_batch)
 
     demux = sub.add_parser("demux",
@@ -367,6 +425,13 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.handler(args)
+    except KeyboardInterrupt:
+        # Ctrl-C is a deliberate stop, not a crash: one line, no
+        # traceback, and the conventional 128+SIGINT exit code.  A
+        # journaled batch can pick up exactly where it stopped.
+        hint = " — resume with --resume" if args.command == "batch" else ""
+        print(f"tcpanaly: interrupted{hint}", file=sys.stderr)
+        return 130
     except (OSError, ValueError) as error:
         # A missing file, an unreadable path, or a non-pcap input is a
         # usage problem, not a crash: one line on stderr, exit 2.

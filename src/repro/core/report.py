@@ -15,6 +15,7 @@ from repro.trace.record import Trace
 
 from repro.core.calibrate import CalibrationReport, calibrate_trace
 from repro.core.engine import IdentificationEngine
+from repro.core.errors import annotate_stage
 from repro.core.fit import FitReport, ReceiverFit
 from repro.core.receiver.analyzer import (
     ReceiverAnalysis,
@@ -143,44 +144,71 @@ def analyze_trace(trace: Trace, behavior: TCPBehavior | None = None,
     vantage = infer_vantage(trace)
     want_analysis = behavior is not None or identify
     sender_pass_one = receiver_pass_one = None
+    # Stage annotations: an exception escaping any analysis stage is
+    # tagged with the stage name so the pipeline's quarantine payload
+    # can say *where* a pathological trace broke the model, not just
+    # that it did.  The exceptions themselves still propagate.
     if want_analysis and vantage == "sender":
         try:
             sender_pass_one = extract_pass_one(trace)
         except (TraceUnusable, ValueError):
             pass
+        except Exception as error:
+            annotate_stage(error, "sender pass one")
+            raise
     elif want_analysis:
         try:
             receiver_pass_one = extract_receiver_pass_one(
                 trace, headers_only)
         except ValueError:
             pass
+        except Exception as error:
+            annotate_stage(error, "receiver pass one")
+            raise
     sender_analysis = None
     if behavior is not None and vantage == "sender" \
             and sender_pass_one is not None:
-        sender_analysis = analyze_sender(None, behavior,
-                                         pass_one=sender_pass_one)
+        try:
+            sender_analysis = analyze_sender(None, behavior,
+                                             pass_one=sender_pass_one)
+        except Exception as error:
+            annotate_stage(error, "sender analysis")
+            raise
     # Calibration's behavior-dependent checks reuse the replay above
     # instead of re-running the sender analyzer on the same trace.
-    calibration = calibrate_trace(trace, behavior, peer_trace,
-                                  sender_analysis=sender_analysis)
+    try:
+        calibration = calibrate_trace(trace, behavior, peer_trace,
+                                      sender_analysis=sender_analysis)
+    except Exception as error:
+        annotate_stage(error, "calibration")
+        raise
     report = TraceReport(vantage=vantage, calibration=calibration,
                          sender=sender_analysis)
     if behavior is not None and vantage != "sender" \
             and receiver_pass_one is not None:
-        report.receiver = analyze_receiver(
-            None, behavior, headers_only=headers_only,
-            pass_one=receiver_pass_one)
+        try:
+            report.receiver = analyze_receiver(
+                None, behavior, headers_only=headers_only,
+                pass_one=receiver_pass_one)
+        except Exception as error:
+            annotate_stage(error, "receiver analysis")
+            raise
     if identify:
         if engine is None:
             engine = default_engine()
-        if vantage == "sender":
-            report.identification = engine.identify_sender(
-                trace, pass_one=sender_pass_one)
-        elif headers_only and receiver_pass_one is not None:
-            # Identification always replays the full-content trace
-            # semantics; a headers-only pass one is not equivalent.
-            report.receiver_identification = engine.identify_receiver(trace)
-        else:
-            report.receiver_identification = engine.identify_receiver(
-                trace, pass_one=receiver_pass_one)
+        try:
+            if vantage == "sender":
+                report.identification = engine.identify_sender(
+                    trace, pass_one=sender_pass_one)
+            elif headers_only and receiver_pass_one is not None:
+                # Identification always replays the full-content trace
+                # semantics; a headers-only pass one is not equivalent.
+                report.receiver_identification = \
+                    engine.identify_receiver(trace)
+            else:
+                report.receiver_identification = engine.identify_receiver(
+                    trace, pass_one=receiver_pass_one)
+        except Exception as error:
+            annotate_stage(error, "identification")
+            raise
     return report

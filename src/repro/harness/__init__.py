@@ -7,6 +7,7 @@ from repro.harness.scenarios import (
     TracedTransfer,
 )
 from repro.harness.corpus import generate_corpus, CorpusEntry
+from repro.harness.faults import FAULT_KINDS, FaultPlan, FaultSpec
 from repro.harness.probing import Arrival, drive_receiver, probe_hole_fill
 
 __all__ = [
@@ -19,4 +20,7 @@ __all__ = [
     "Arrival",
     "drive_receiver",
     "probe_hole_fill",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
 ]

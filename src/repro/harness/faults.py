@@ -1,0 +1,132 @@
+"""Deterministic fault injection for the batch pipeline.
+
+The resilience layer's claims ("a crashed worker is requeued", "a hung
+trace is killed and quarantined") are only testable if crashes and
+hangs can be produced on demand, in the worker that owns the item, at
+an exact point in the run.  A :class:`FaultPlan` is a picklable recipe
+the pipeline threads into its workers: before an item is analyzed, the
+plan is consulted and — if a spec matches the item's name (or its
+dispatch index) and the current attempt number — the configured fault
+fires.
+
+Fault kinds:
+
+``raise``
+    Raise a named exception inside the analysis path — exercises the
+    error-classification taxonomy (``KeyError`` → ``model``,
+    ``OSError`` → ``io``, ...).
+``hang``
+    Sleep for ``hang_seconds`` before analyzing — drives the item past
+    any per-trace timeout so the supervisor must kill the worker.
+``kill``
+    ``os._exit`` the worker process mid-item, bypassing all exception
+    handling — the supervisor must notice the corpse, requeue the
+    item, and quarantine it once the retry budget is spent.
+``corrupt``
+    Analyze a byte-corrupted *copy* of the item's capture file (the
+    original is never touched) — a deterministic stand-in for the
+    damaged traces a real packet-filter corpus is riddled with.
+
+Every spec can be limited to specific attempt numbers via
+``on_attempts``, so a test can, e.g., kill the first attempt and let
+the retry succeed.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import tempfile
+import time
+from dataclasses import dataclass, replace
+
+FAULT_KINDS = ("raise", "hang", "kill", "corrupt")
+
+#: Exceptions a ``raise`` fault may name.  A fixed whitelist keeps the
+#: plan picklable and the injection auditable.
+RAISEABLE: dict[str, type[BaseException]] = {
+    "RuntimeError": RuntimeError,
+    "KeyError": KeyError,
+    "IndexError": IndexError,
+    "RecursionError": RecursionError,
+    "MemoryError": MemoryError,
+    "ZeroDivisionError": ZeroDivisionError,
+    "OSError": OSError,
+    "ValueError": ValueError,
+    "struct.error": struct.error,
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault: where it fires and what it does."""
+
+    match: str | int            # item name, or dispatch index
+    kind: str                   # one of FAULT_KINDS
+    exception: str = "RuntimeError"   # for kind="raise" (see RAISEABLE)
+    message: str = "injected fault"
+    hang_seconds: float = 3600.0      # for kind="hang"
+    exit_code: int = 9                # for kind="kill"
+    corrupt_offset: int = 0           # for kind="corrupt"
+    corrupt_bytes: bytes = b"\xde\xad\xbe\xef"
+    on_attempts: tuple[int, ...] | None = None  # None: every attempt
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind: {self.kind!r}")
+        if self.kind == "raise" and self.exception not in RAISEABLE:
+            raise ValueError(f"unraiseable exception: {self.exception!r} "
+                             f"(choose from {sorted(RAISEABLE)})")
+
+    def fires(self, name: str, index: int, attempt: int) -> bool:
+        if self.match != name and self.match != index:
+            return False
+        return self.on_attempts is None or attempt in self.on_attempts
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A picklable set of fault specs, applied inside pipeline workers."""
+
+    specs: tuple[FaultSpec, ...] = ()
+
+    def apply(self, item, index: int, attempt: int):
+        """Fire every matching fault; return the (possibly substituted)
+        item the worker should analyze.
+
+        ``raise``/``hang``/``kill`` act immediately; ``corrupt``
+        swaps the item for one pointing at a corrupted temp copy of
+        its capture file.
+        """
+        for spec in self.specs:
+            if not spec.fires(item.name, index, attempt):
+                continue
+            if spec.kind == "raise":
+                raise RAISEABLE[spec.exception](spec.message)
+            if spec.kind == "hang":
+                time.sleep(spec.hang_seconds)
+            elif spec.kind == "kill":
+                os._exit(spec.exit_code)
+            elif spec.kind == "corrupt":
+                item = replace(item, path=_corrupted_copy(
+                    item.path, spec.corrupt_offset, spec.corrupt_bytes))
+        return item
+
+
+def _corrupted_copy(path, offset: int, garbage: bytes):
+    """Write a corrupted copy of *path* to a temp file, return its path.
+
+    The corruption is deterministic (fixed offset, fixed bytes), so a
+    corrupted item fails identically on every attempt and every run.
+    """
+    from pathlib import Path
+    data = bytearray(Path(path).read_bytes())
+    end = min(len(data), offset + len(garbage))
+    data[offset:end] = garbage[:max(0, end - offset)]
+    if not data:
+        data = bytearray(garbage)
+    handle, copy_path = tempfile.mkstemp(prefix="tcpanaly-fault-",
+                                         suffix=".pcap")
+    with os.fdopen(handle, "wb") as copy:
+        copy.write(bytes(data))
+    return Path(copy_path)

@@ -5,10 +5,20 @@ sender/receiver identification) out across worker processes, with an
 on-disk result cache keyed by trace content and catalog version.
 ``write_jsonl`` and ``aggregate_report`` turn a batch into stable
 machine-readable results and a Table-1-style summary.
+
+The resilience layer keeps corpus-scale runs alive through anything a
+single trace can do: :class:`SupervisedPool` survives worker crashes
+and enforces per-trace timeouts, every failure is quarantined as a
+classified :class:`~repro.core.errors.AnalysisError` payload instead
+of aborting the batch, and :class:`BatchJournal` checkpoints completed
+items durably so an interrupted run resumes where it stopped.
 """
 
+from repro.core.errors import ERROR_KINDS, AnalysisError, classify_exception
 from repro.pipeline.cache import ResultCache, file_digest, trace_digest
+from repro.pipeline.journal import BatchJournal
 from repro.pipeline.report import aggregate_report, result_line, write_jsonl
+from repro.pipeline.resilience import SupervisedPool, error_payload
 from repro.pipeline.runner import (
     BatchItem,
     BatchResult,
@@ -22,14 +32,20 @@ from repro.pipeline.runner import (
 )
 
 __all__ = [
+    "ERROR_KINDS",
+    "AnalysisError",
     "BatchItem",
+    "BatchJournal",
     "BatchResult",
     "ResultCache",
+    "SupervisedPool",
     "TraceResult",
     "aggregate_report",
     "analyze_item",
     "analyze_item_stream",
+    "classify_exception",
     "corpus_items",
+    "error_payload",
     "file_digest",
     "memory_items",
     "result_line",

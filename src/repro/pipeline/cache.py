@@ -26,7 +26,7 @@ from repro.trace.record import Trace
 #: Version of the analysis payload schema.  Bump whenever the payload
 #: shape or analysis semantics change (new fields, different scoring),
 #: so stale entries from older code cannot be served as hits.
-ANALYSIS_SCHEMA_VERSION = 2
+ANALYSIS_SCHEMA_VERSION = 3
 
 
 def file_digest(path: str | Path) -> str:
@@ -87,11 +87,20 @@ class ResultCache:
         return payload if isinstance(payload, dict) else None
 
     def put(self, content_digest: str, payload: dict) -> None:
-        """Store *payload* atomically (write-then-rename)."""
+        """Store *payload* atomically (write-then-rename).
+
+        A failed serialization (or a full disk) must not strand the
+        scratch file: it is unlinked before the error propagates, so
+        an aborted put leaves the cache directory exactly as it was.
+        """
         path = self._path(content_digest)
         scratch = path.with_suffix(f".tmp{os.getpid()}")
-        with open(scratch, "w") as handle:
-            json.dump(payload, handle, sort_keys=True)
+        try:
+            with open(scratch, "w") as handle:
+                json.dump(payload, handle, sort_keys=True)
+        except BaseException:
+            scratch.unlink(missing_ok=True)
+            raise
         os.replace(scratch, path)
 
     def __len__(self) -> int:

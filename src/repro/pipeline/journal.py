@@ -1,0 +1,127 @@
+"""The batch journal: checkpoint/resume for interrupted corpus runs.
+
+A corpus run over tens of thousands of traces will, sooner or later,
+be interrupted — SIGINT, OOM-killer, power loss.  The journal makes
+that a pause instead of a restart: as each item completes (healthy or
+quarantined), its payloads are appended as one JSON line and flushed
+to disk, so ``tcpanaly batch --resume`` replays completed items from
+the journal and re-analyzes only the remainder.  The final JSONL is
+byte-identical to an uninterrupted run's, because the journal stores
+the exact payloads and the pipeline's output ordering is by trace
+name, not completion time.
+
+Entries are keyed by item *name* and validated by content *digest*:
+a renamed or edited trace never reuses a stale entry.  A header line
+pins the catalog version, payload schema, and eager/stream mode — a
+journal written under any other configuration is discarded rather
+than resumed, since its payloads would not match a fresh run.
+
+The file itself is crash-tolerant: each record is flushed and fsynced
+as written, a torn trailing line (the write the crash interrupted) is
+dropped on load, and resuming rewrites the journal compactly so
+appends never land after a torn line.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.pipeline.cache import ANALYSIS_SCHEMA_VERSION
+from repro.tcp.catalog import catalog_version
+
+JOURNAL_FORMAT = 1
+
+
+class BatchJournal:
+    """Append-only journal of completed batch items.
+
+    With ``resume=False`` any existing journal is truncated; with
+    ``resume=True`` a compatible journal's entries become the resume
+    set (and the file is rewritten compactly before appending).
+    """
+
+    def __init__(self, path: str | Path, stream: bool = False,
+                 resume: bool = False):
+        self.path = Path(path)
+        self.stream = stream
+        self._completed: dict[str, tuple[str, list[dict]]] = {}
+        if resume:
+            self._load()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # Rewrite rather than append: guarantees a valid header and no
+        # torn trailing line underneath the entries we are keeping.
+        self._handle = open(self.path, "w")
+        self._write_line(self._header())
+        for name, (digest, payloads) in self._completed.items():
+            self._write_line({"name": name, "digest": digest,
+                              "payloads": payloads})
+
+    def _header(self) -> dict:
+        return {"journal": JOURNAL_FORMAT,
+                "catalog": catalog_version(),
+                "schema": ANALYSIS_SCHEMA_VERSION,
+                "stream": self.stream}
+
+    def _load(self) -> None:
+        try:
+            text = self.path.read_text()
+        except (OSError, UnicodeDecodeError):
+            # Missing, unreadable, or binary garbage: nothing to resume.
+            return
+        lines = text.split("\n")
+        if text and not text.endswith("\n"):
+            lines = lines[:-1]  # torn trailing write: drop it
+        entries = []
+        for line in lines:
+            if not line:
+                continue
+            try:
+                entries.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue  # a torn or corrupted line loses one entry, not all
+        if not entries or entries[0] != self._header():
+            # Different catalog/schema/mode (or not a journal at all):
+            # its payloads cannot be trusted for this run.
+            return
+        for entry in entries[1:]:
+            if not isinstance(entry, dict):
+                continue
+            name, digest = entry.get("name"), entry.get("digest")
+            payloads = entry.get("payloads")
+            if isinstance(name, str) and isinstance(digest, str) \
+                    and isinstance(payloads, list):
+                self._completed[name] = (digest, payloads)
+
+    def _write_line(self, payload: dict) -> None:
+        self._handle.write(json.dumps(payload, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def __len__(self) -> int:
+        return len(self._completed)
+
+    def lookup(self, name: str, digest: str) -> list[dict] | None:
+        """The completed payloads for *name*, if its content matches."""
+        entry = self._completed.get(name)
+        if entry is None or entry[0] != digest:
+            return None
+        return entry[1]
+
+    def record(self, name: str, digest: str,
+               payloads: list[dict]) -> None:
+        """Checkpoint one completed item (durable before returning)."""
+        self._completed[name] = (digest, payloads)
+        self._write_line({"name": name, "digest": digest,
+                          "payloads": payloads})
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "BatchJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

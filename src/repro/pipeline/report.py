@@ -82,7 +82,14 @@ def aggregate_report(batch: BatchResult) -> str:
     if failed:
         lines.append(f"unanalyzable traces: {len(failed)}")
         for payload in failed:
-            lines.append(f"  {payload['trace']}: {payload['error']}")
+            kind = payload.get("error_kind")
+            tag = f"[{kind}] " if kind else ""
+            lines.append(f"  {payload['trace']}: {tag}{payload['error']}")
+        kinds = Counter(p.get("error_kind", "unclassified")
+                        for p in failed)
+        lines.append("  quarantined by kind: "
+                     + ", ".join(f"{kind} {count}" for kind, count
+                                 in sorted(kinds.items())))
 
     # Per-implementation corpus counts, Table-1 style.
     by_truth = Counter(p["implementation"] for p in payloads
@@ -166,8 +173,11 @@ def aggregate_report(batch: BatchResult) -> str:
                      f"{max(s.get('peak_live_flows', 0) for s in stats)}")
 
     lines.append("")
-    lines.append(f"jobs: {batch.jobs}; cache: {batch.cache_hits} hit(s), "
-                 f"{batch.cache_misses} miss(es)")
+    footer = (f"jobs: {batch.jobs}; cache: {batch.cache_hits} hit(s), "
+              f"{batch.cache_misses} miss(es)")
+    if batch.resumed:
+        footer += f"; resumed {batch.resumed} item(s) from journal"
+    lines.append(footer)
     lines.append(f"wall clock: {batch.wall_time:.2f}s "
                  f"({batch.throughput:.1f} traces/sec)")
     return "\n".join(lines)

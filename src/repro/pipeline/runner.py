@@ -17,14 +17,17 @@ warm-cache runs all produce byte-identical JSONL output.
 from __future__ import annotations
 
 import functools
-import multiprocessing
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.core.errors import classify_exception
 from repro.core.report import analyze_trace
 from repro.harness.corpus import WrittenCorpusEntry
+from repro.harness.faults import FaultPlan
 from repro.pipeline.cache import ResultCache, file_digest, trace_digest
+from repro.pipeline.journal import BatchJournal
+from repro.pipeline.resilience import SupervisedPool, error_payload
 from repro.tcp.catalog import CATALOG
 from repro.trace.pcap import read_pcap
 from repro.trace.record import Trace
@@ -66,6 +69,7 @@ class TraceResult:
     payload: dict
     cache_hit: bool = False
     elapsed: float = 0.0
+    resumed: bool = False
 
 
 @dataclass
@@ -77,6 +81,7 @@ class BatchResult:
     wall_time: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    resumed: int = 0
 
     @property
     def throughput(self) -> float:
@@ -145,8 +150,11 @@ def analyze_item(item: BatchItem) -> dict:
     """Analyze one trace: the per-process unit of batch work.
 
     A damaged or non-pcap trace must not abort a corpus-scale run, so
-    per-trace failures become error payloads; the aggregate report
-    counts them and the JSONL line records the reason.
+    *every* per-trace failure — bad framing, an unreadable file, a
+    ``KeyError`` or ``RecursionError`` the wild trace tickled out of
+    the model — becomes a classified error payload (``error_kind``:
+    decode/io/model); the aggregate report counts them and the JSONL
+    line records the reason.
     """
     payload = {
         "trace": item.name,
@@ -156,8 +164,8 @@ def analyze_item(item: BatchItem) -> dict:
         trace = item.trace if item.trace is not None \
             else read_pcap(item.path)
         report = analyze_trace(trace, identify=True)
-    except ValueError as error:
-        payload["error"] = str(error)
+    except Exception as error:
+        payload.update(classify_exception(error).to_fields())
         return payload
     payload["records"] = len(trace)
     payload.update(report.to_dict())
@@ -171,9 +179,18 @@ def analyze_item_stream(item: BatchItem) -> list[dict]:
     fans a multi-connection capture out into per-connection payloads;
     a single-connection capture keeps the item's own name, so corpus
     aggregates match the eager path.  Every payload carries the
-    capture's ingest statistics.
+    capture's ingest statistics.  Per-flow analysis runs tolerantly: a
+    poisonous connection quarantines itself (``error_kind`` in its
+    payload) without sinking the capture's other flows, and a failure
+    of the capture itself (unreadable, not a pcap) quarantines the
+    whole item.
     """
-    from repro.stream import FlowReport, IngestStats, analyze_stream
+    from repro.stream import (
+        FlowReport,
+        IngestStats,
+        analyze_stream,
+        build_flow_report,
+    )
     from repro.stream.flowtable import demux_records
 
     stats = IngestStats()
@@ -181,18 +198,20 @@ def analyze_item_stream(item: BatchItem) -> list[dict]:
     try:
         if item.trace is not None:
             for flow in demux_records(item.trace.records, stats=stats):
-                flow_reports.append(FlowReport(
-                    flow=flow,
-                    report=analyze_trace(flow.to_trace(), identify=True)))
+                flow_reports.append(build_flow_report(flow, identify=True,
+                                                      tolerant=True))
         else:
             flow_reports = list(analyze_stream(item.path, identify=True,
-                                               stats=stats))
-    except ValueError as error:
-        return [{"trace": item.name, "implementation": item.implementation,
-                 "error": str(error)}]
+                                               stats=stats, tolerant=True))
+    except Exception as error:
+        payload = {"trace": item.name,
+                   "implementation": item.implementation}
+        payload.update(classify_exception(error).to_fields())
+        return [payload]
     if not flow_reports:
         return [{"trace": item.name, "implementation": item.implementation,
                  "error": "no connections demultiplexed",
+                 "error_kind": "decode",
                  "ingest": stats.to_dict()}]
     ingest = stats.to_dict()
     payloads = []
@@ -210,30 +229,67 @@ def analyze_item_stream(item: BatchItem) -> list[dict]:
     return payloads
 
 
-def _indexed_analyze(indexed_item: tuple[int, BatchItem],
-                     stream: bool = False) -> tuple[int, list[dict], float]:
-    """Analyze one item, tagged with its input index.
+def _guarded_payloads(index: int, item: BatchItem, attempt: int,
+                      stream: bool = False,
+                      fault_plan: FaultPlan | None = None) -> list[dict]:
+    """The worker-side unit of batch work; never raises.
 
-    The tag lets ``imap_unordered`` results — which arrive in
-    completion order — be restored to input order in the parent, so
-    the dispatch strategy never shows through in the output.
+    Applies the fault-injection plan (if any), runs the eager or
+    streamed analysis, and classifies anything that escapes — so the
+    only ways a worker can fail to produce payloads are the ones the
+    supervisor handles from outside: a process death or a kill.
     """
-    index, item = indexed_item
-    start = time.perf_counter()
-    payloads = analyze_item_stream(item) if stream else [analyze_item(item)]
-    return index, payloads, time.perf_counter() - start
+    substituted = None
+    try:
+        if fault_plan is not None:
+            original_path = item.path
+            item = fault_plan.apply(item, index, attempt)
+            if item.path != original_path:
+                substituted = item.path   # corrupt fault's temp copy
+        return analyze_item_stream(item) if stream else [analyze_item(item)]
+    except Exception as error:
+        return [error_payload(item, classify_exception(error))]
+    finally:
+        if substituted is not None:
+            substituted.unlink(missing_ok=True)
+
+
+#: Error kinds that may be transient (or depend on the run's timeout
+#: budget): never cached, so the next run retries them.
+_TRANSIENT_KINDS = frozenset({"io", "timeout", "crash"})
+
+
+def _cacheable(payloads: list[dict]) -> bool:
+    return all(payload.get("error_kind") not in _TRANSIENT_KINDS
+               for payload in payloads)
 
 
 def run_batch(items: list[BatchItem], jobs: int = 1,
               cache: ResultCache | None = None,
-              stream: bool = False) -> BatchResult:
+              stream: bool = False,
+              timeout: float | None = None,
+              retries: int = 2,
+              journal: BatchJournal | None = None,
+              fault_plan: FaultPlan | None = None) -> BatchResult:
     """Run the analysis pipeline over *items* with *jobs* workers.
 
     Cache hits are resolved up front in the parent process, so a
-    warm-cache run dispatches no analysis work at all.  ``jobs=1`` is
-    a plain sequential loop — no process pool, fully deterministic
-    execution order — for debugging; higher job counts fan the
-    cache-miss set out over a process pool.
+    warm-cache run dispatches no analysis work at all.  ``jobs=1``
+    (without a timeout) is a plain in-process sequential loop — fully
+    deterministic execution order — for debugging; otherwise the
+    cache-miss set fans out over a :class:`SupervisedPool`, which
+    survives worker crashes (requeue with a *retries* budget, then
+    quarantine as ``error_kind: "crash"``) and kills analyses that
+    exceed the per-trace wall-clock *timeout* (quarantined as
+    ``error_kind: "timeout"``).
+
+    An item whose file cannot even be digested is quarantined up
+    front as ``error_kind: "io"`` and the rest of the batch runs.
+
+    With *journal*, every completed item is checkpointed durably as it
+    finishes; items already completed in a resumed journal are
+    replayed without re-analysis, and the final result set is
+    byte-identical to an uninterrupted run's.
 
     With ``stream=True`` each capture goes through the streaming
     ingest + demux path and may yield several per-connection results;
@@ -245,8 +301,18 @@ def run_batch(items: list[BatchItem], jobs: int = 1,
     results: list[TraceResult] = []
     pending: list[BatchItem] = []
     digests: dict[str, str] = {}
+    resumed = 0
+    upfront_failures = 0
     for item in items:
-        digest = item.content_digest()
+        try:
+            digest = item.content_digest()
+        except OSError as error:
+            # An unreadable corpus file must not abort the batch
+            # before any analysis has even run.
+            results.append(TraceResult(
+                item.name, error_payload(item, classify_exception(error))))
+            upfront_failures += 1
+            continue
         if stream:
             digest = f"stream:{digest}"
         digests[item.name] = digest
@@ -259,34 +325,52 @@ def run_batch(items: list[BatchItem], jobs: int = 1,
             else:
                 results.append(TraceResult(item.name, cached,
                                            cache_hit=True))
-        else:
-            pending.append(item)
+            continue
+        if journal is not None:
+            payloads = journal.lookup(item.name, digest)
+            if payloads is not None:
+                for payload in payloads:
+                    results.append(TraceResult(payload["trace"], payload,
+                                               resumed=True))
+                resumed += 1
+                continue
+        pending.append(item)
 
-    worker = functools.partial(_indexed_analyze, stream=stream)
-    if jobs == 1 or len(pending) <= 1:
-        computed = [worker(indexed) for indexed in enumerate(pending)]
-    else:
-        workers = min(jobs, len(pending))
-        # Chunks amortize IPC without starving workers at the tail:
-        # ~4 chunks per worker keeps the pool balanced even when trace
-        # analysis times vary widely.
-        chunk = max(1, len(pending) // (workers * 4))
-        with multiprocessing.Pool(processes=workers) as pool:
-            computed = list(pool.imap_unordered(worker, enumerate(pending),
-                                                chunksize=chunk))
-    computed.sort(key=lambda entry: entry[0])
-
-    for index, payloads, elapsed in computed:
+    def finish(index: int, payloads: list[dict], elapsed: float) -> None:
         item = pending[index]
-        if cache is not None:
+        # Journal first: the checkpoint must be durable before the
+        # (best-effort) cache write can fail or be interrupted.
+        if journal is not None:
+            journal.record(item.name, digests[item.name], payloads)
+        if cache is not None and _cacheable(payloads):
             cache.put(digests[item.name],
                       {"flows": payloads} if stream else payloads[0])
         for payload in payloads:
             results.append(TraceResult(payload["trace"], payload,
                                        cache_hit=False, elapsed=elapsed))
 
+    worker = functools.partial(_guarded_payloads, stream=stream,
+                               fault_plan=fault_plan)
+    if not pending:
+        pass
+    elif jobs == 1 and timeout is None:
+        for index, item in enumerate(pending):
+            item_start = time.perf_counter()
+            payloads = worker(index, item, 0)
+            finish(index, payloads, time.perf_counter() - item_start)
+    else:
+        pool = SupervisedPool(min(jobs, len(pending)), worker,
+                              timeout=timeout, retries=retries)
+        runner = pool.run(list(enumerate(pending)))
+        try:
+            for index, payloads, elapsed in runner:
+                finish(index, payloads, elapsed)
+        finally:
+            runner.close()
+
     results.sort(key=lambda result: result.name)
     return BatchResult(results=results, jobs=jobs,
                        wall_time=time.perf_counter() - start,
                        cache_hits=sum(r.cache_hit for r in results),
-                       cache_misses=len(pending))
+                       cache_misses=len(pending) + upfront_failures,
+                       resumed=resumed)

@@ -16,7 +16,12 @@ the system analyzes, with bounded memory:
   into.
 """
 
-from repro.stream.demux import FlowReport, analyze_stream, demux_pcap
+from repro.stream.demux import (
+    FlowReport,
+    analyze_stream,
+    build_flow_report,
+    demux_pcap,
+)
 from repro.stream.flowtable import (
     ConnectionKey,
     Flow,
@@ -35,6 +40,7 @@ __all__ = [
     "IngestWarning",
     "PcapHeader",
     "analyze_stream",
+    "build_flow_report",
     "demux_pcap",
     "demux_records",
     "iter_pcap",

@@ -17,6 +17,7 @@ from pathlib import Path as FilePath
 from typing import Iterator
 
 from repro.core.engine import IdentificationEngine
+from repro.core.errors import AnalysisError, classify_exception
 from repro.core.report import TraceReport, analyze_trace
 from repro.stream.flowtable import Flow, demux_records
 from repro.stream.reader import iter_pcap
@@ -27,10 +28,17 @@ from repro.trace.wire import AddressMap
 
 @dataclass
 class FlowReport:
-    """One demultiplexed connection plus its analysis report."""
+    """One demultiplexed connection plus its analysis report.
+
+    In tolerant mode a connection whose analysis failed still yields a
+    FlowReport — *report* is None and *error* carries the classified
+    failure, so one poisonous connection quarantines itself instead of
+    sinking every other flow in the capture.
+    """
 
     flow: Flow
-    report: TraceReport
+    report: TraceReport | None
+    error: AnalysisError | None = None
 
     @property
     def name(self) -> str:
@@ -47,8 +55,35 @@ class FlowReport:
                 "saw_syn": self.flow.saw_syn,
             },
         }
-        payload.update(self.report.to_dict())
+        if self.error is not None:
+            payload.update(self.error.to_fields())
+        if self.report is not None:
+            payload.update(self.report.to_dict())
         return payload
+
+
+def build_flow_report(flow: Flow,
+                      behavior: TCPBehavior | None = None,
+                      identify: bool = False,
+                      headers_only: bool = False,
+                      engine: IdentificationEngine | None = None,
+                      tolerant: bool = False) -> FlowReport:
+    """Analyze one completed flow into a :class:`FlowReport`.
+
+    With *tolerant* set, an analysis failure is classified and
+    returned as an errored report instead of propagating.
+    """
+    try:
+        report = analyze_trace(flow.to_trace(), behavior,
+                               identify=identify,
+                               headers_only=headers_only,
+                               engine=engine)
+    except Exception as error:
+        if not tolerant:
+            raise
+        return FlowReport(flow=flow, report=None,
+                          error=classify_exception(error))
+    return FlowReport(flow=flow, report=report)
 
 
 def demux_pcap(path: str | FilePath,
@@ -76,20 +111,21 @@ def analyze_stream(path: str | FilePath,
                    stats: IngestStats | None = None,
                    strict: bool = False,
                    engine: IdentificationEngine | None = None,
+                   tolerant: bool = False,
                    **table_options) -> Iterator[FlowReport]:
     """Analyze every connection in *path*, yielding reports lazily.
 
     Peak memory is bounded by the live-flow set, not the capture
     length: each flow is analyzed and released as soon as it
     completes.  A single identification engine (the caller's, or one
-    built here) serves every flow in the capture.
+    built here) serves every flow in the capture.  With *tolerant*, a
+    flow whose analysis fails yields an errored FlowReport instead of
+    aborting the remaining connections.
     """
     if identify and engine is None:
         engine = IdentificationEngine()
     for flow in demux_pcap(path, addresses=addresses, stats=stats,
                            strict=strict, **table_options):
-        report = analyze_trace(flow.to_trace(), behavior,
-                               identify=identify,
-                               headers_only=headers_only,
-                               engine=engine)
-        yield FlowReport(flow=flow, report=report)
+        yield build_flow_report(flow, behavior, identify=identify,
+                                headers_only=headers_only, engine=engine,
+                                tolerant=tolerant)

@@ -1,0 +1,106 @@
+"""Fault-injection harness: deterministic, targeted, picklable."""
+
+import pickle
+
+import pytest
+
+from repro.harness.faults import RAISEABLE, FaultPlan, FaultSpec
+from repro.pipeline import BatchItem
+
+
+@pytest.fixture
+def item(tmp_path):
+    path = tmp_path / "victim.pcap"
+    path.write_bytes(b"\xa1\xb2\xc3\xd4" + b"\x00" * 20)
+    return BatchItem(name="victim.pcap", path=path)
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(match="x", kind="gremlin")
+
+    def test_unraiseable_exception_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(match="x", kind="raise", exception="SystemExit")
+
+    def test_fires_by_name_and_index(self):
+        by_name = FaultSpec(match="victim.pcap", kind="raise")
+        assert by_name.fires("victim.pcap", 7, 0)
+        assert not by_name.fires("other.pcap", 7, 0)
+        by_index = FaultSpec(match=3, kind="raise")
+        assert by_index.fires("anything.pcap", 3, 0)
+        assert not by_index.fires("anything.pcap", 4, 0)
+
+    def test_attempt_gating(self):
+        spec = FaultSpec(match="x", kind="raise", on_attempts=(0, 2))
+        assert spec.fires("x", 0, 0)
+        assert not spec.fires("x", 0, 1)
+        assert spec.fires("x", 0, 2)
+
+
+class TestFaultPlan:
+    def test_plan_is_picklable(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(match="a", kind="kill"),
+            FaultSpec(match="b", kind="raise", exception="KeyError"),
+        ))
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+    def test_no_matching_spec_is_a_no_op(self, item):
+        plan = FaultPlan(specs=(FaultSpec(match="other", kind="raise"),))
+        assert plan.apply(item, 0, 0) is item
+
+    @pytest.mark.parametrize("name,expected", sorted(RAISEABLE.items()))
+    def test_raise_fault_raises_the_named_exception(self, item, name,
+                                                    expected):
+        plan = FaultPlan(specs=(
+            FaultSpec(match=item.name, kind="raise", exception=name),))
+        with pytest.raises(expected):
+            plan.apply(item, 0, 0)
+
+    def test_corrupt_fault_substitutes_a_damaged_copy(self, item):
+        original = item.path.read_bytes()
+        plan = FaultPlan(specs=(FaultSpec(match=item.name,
+                                          kind="corrupt"),))
+        corrupted = plan.apply(item, 0, 0)
+        try:
+            assert corrupted is not item
+            assert corrupted.name == item.name   # provenance preserved
+            assert corrupted.path != item.path
+            assert corrupted.path.read_bytes() != original
+            # The original capture is never touched.
+            assert item.path.read_bytes() == original
+        finally:
+            corrupted.path.unlink()
+
+    def test_corruption_is_deterministic(self, item):
+        plan = FaultPlan(specs=(FaultSpec(match=item.name,
+                                          kind="corrupt"),))
+        first = plan.apply(item, 0, 0)
+        second = plan.apply(item, 0, 1)
+        try:
+            assert first.path.read_bytes() == second.path.read_bytes()
+        finally:
+            first.path.unlink()
+            second.path.unlink()
+
+    def test_corrupt_offset_and_bytes_respected(self, item):
+        plan = FaultPlan(specs=(FaultSpec(
+            match=item.name, kind="corrupt", corrupt_offset=4,
+            corrupt_bytes=b"\xff\xff"),))
+        corrupted = plan.apply(item, 0, 0)
+        try:
+            data = corrupted.path.read_bytes()
+            assert data[:4] == item.path.read_bytes()[:4]
+            assert data[4:6] == b"\xff\xff"
+        finally:
+            corrupted.path.unlink()
+
+    def test_hang_fault_sleeps(self, item, monkeypatch):
+        naps = []
+        monkeypatch.setattr("time.sleep", naps.append)
+        plan = FaultPlan(specs=(FaultSpec(match=item.name, kind="hang",
+                                          hang_seconds=42.0),))
+        assert plan.apply(item, 0, 0) is item
+        assert naps == [42.0]

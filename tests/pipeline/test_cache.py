@@ -57,3 +57,16 @@ class TestResultCache:
         entry = next((tmp_path / "cache").glob("*.json"))
         assert json.loads(entry.read_text()) == {"a": 1, "b": 2}
         assert len(cache) == 1
+
+    def test_failed_put_leaves_no_scratch_file(self, tmp_path):
+        import pytest
+        cache = ResultCache(tmp_path / "cache")
+        cache.put("abc", {"ok": True})
+        before = sorted(p.name for p in (tmp_path / "cache").iterdir())
+        with pytest.raises(TypeError):
+            cache.put("def", {"payload": object()})  # not serializable
+        # The aborted put left the cache directory exactly as it was:
+        # no entry for "def" and, crucially, no stranded .tmp* scratch.
+        assert sorted(p.name for p in (tmp_path / "cache").iterdir()) \
+            == before
+        assert cache.get("def") is None

@@ -1,0 +1,192 @@
+"""Checkpoint journal: durability, validation, byte-identical resume."""
+
+import json
+
+import pytest
+
+from repro.harness.corpus import write_corpus
+from repro.pipeline import BatchJournal, corpus_items, run_batch, write_jsonl
+from repro.pipeline.cache import ANALYSIS_SCHEMA_VERSION
+
+
+@pytest.fixture(scope="module")
+def corpus_dir(tmp_path_factory):
+    outdir = tmp_path_factory.mktemp("journal-corpus")
+    write_corpus(outdir, implementations=["reno", "linux-1.0"],
+                 traces_per_implementation=2, data_size=10240)
+    return outdir
+
+
+@pytest.fixture(scope="module")
+def clean_jsonl(corpus_dir, tmp_path_factory):
+    path = tmp_path_factory.mktemp("journal-clean") / "clean.jsonl"
+    batch = run_batch(corpus_items(corpus_dir), jobs=1)
+    write_jsonl(batch.results, path)
+    return path
+
+
+class TestJournalMechanics:
+    def test_records_and_looks_up(self, tmp_path):
+        journal = BatchJournal(tmp_path / "j.jsonl")
+        journal.record("a.pcap", "digest-a", [{"trace": "a.pcap"}])
+        journal.close()
+        resumed = BatchJournal(tmp_path / "j.jsonl", resume=True)
+        assert len(resumed) == 1
+        assert resumed.lookup("a.pcap", "digest-a") == [{"trace": "a.pcap"}]
+        resumed.close()
+
+    def test_digest_mismatch_is_a_miss(self, tmp_path):
+        journal = BatchJournal(tmp_path / "j.jsonl")
+        journal.record("a.pcap", "digest-a", [{"trace": "a.pcap"}])
+        journal.close()
+        resumed = BatchJournal(tmp_path / "j.jsonl", resume=True)
+        assert resumed.lookup("a.pcap", "digest-CHANGED") is None
+        resumed.close()
+
+    def test_without_resume_truncates(self, tmp_path):
+        journal = BatchJournal(tmp_path / "j.jsonl")
+        journal.record("a.pcap", "digest-a", [{"trace": "a.pcap"}])
+        journal.close()
+        fresh = BatchJournal(tmp_path / "j.jsonl", resume=False)
+        assert len(fresh) == 0
+        assert fresh.lookup("a.pcap", "digest-a") is None
+        fresh.close()
+
+    def test_torn_trailing_line_is_dropped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = BatchJournal(path)
+        journal.record("a.pcap", "digest-a", [{"trace": "a.pcap"}])
+        journal.record("b.pcap", "digest-b", [{"trace": "b.pcap"}])
+        journal.close()
+        # Simulate a crash mid-write: cut the final record in half.
+        text = path.read_text()
+        path.write_text(text[:len(text) - len(text.splitlines()[-1]) // 2
+                             - 1])
+        resumed = BatchJournal(path, resume=True)
+        assert resumed.lookup("a.pcap", "digest-a") is not None
+        assert resumed.lookup("b.pcap", "digest-b") is None
+        resumed.close()
+
+    def test_foreign_header_discards_the_journal(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        header = {"journal": 1, "catalog": "someone-elses-catalog",
+                  "schema": ANALYSIS_SCHEMA_VERSION, "stream": False}
+        entry = {"name": "a.pcap", "digest": "d",
+                 "payloads": [{"trace": "a.pcap"}]}
+        path.write_text(json.dumps(header) + "\n"
+                        + json.dumps(entry) + "\n")
+        resumed = BatchJournal(path, resume=True)
+        assert len(resumed) == 0
+        resumed.close()
+
+    def test_stream_and_eager_journals_do_not_mix(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = BatchJournal(path, stream=False)
+        journal.record("a.pcap", "digest-a", [{"trace": "a.pcap"}])
+        journal.close()
+        resumed = BatchJournal(path, stream=True, resume=True)
+        assert len(resumed) == 0
+        resumed.close()
+
+    def test_garbage_file_resumes_empty(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_bytes(b"\x00\xffnot json at all")
+        resumed = BatchJournal(path, resume=True)
+        assert len(resumed) == 0
+        resumed.close()
+
+
+class TestResume:
+    def test_interrupted_run_resumes_byte_identical(self, corpus_dir,
+                                                    clean_jsonl, tmp_path):
+        items = corpus_items(corpus_dir)
+        half = len(items) // 2
+        # "Interrupt" after half the corpus: only those are journaled.
+        journal = BatchJournal(tmp_path / "j.jsonl")
+        run_batch(items[:half], jobs=1, journal=journal)
+        journal.close()
+        resumed_journal = BatchJournal(tmp_path / "j.jsonl", resume=True)
+        resumed = run_batch(items, jobs=2, timeout=60.0,
+                            journal=resumed_journal)
+        resumed_journal.close()
+        assert resumed.resumed == half
+        # Only the incomplete items were re-analyzed.
+        assert resumed.cache_misses == len(items) - half
+        out = tmp_path / "resumed.jsonl"
+        write_jsonl(resumed.results, out)
+        assert out.read_bytes() == clean_jsonl.read_bytes()
+
+    def test_fully_journaled_run_reanalyzes_nothing(self, corpus_dir,
+                                                    clean_jsonl, tmp_path):
+        items = corpus_items(corpus_dir)
+        journal = BatchJournal(tmp_path / "j.jsonl")
+        run_batch(items, jobs=1, journal=journal)
+        journal.close()
+        resumed_journal = BatchJournal(tmp_path / "j.jsonl", resume=True)
+        resumed = run_batch(items, jobs=1, journal=resumed_journal)
+        resumed_journal.close()
+        assert resumed.resumed == len(items)
+        assert resumed.cache_misses == 0
+        out = tmp_path / "resumed.jsonl"
+        write_jsonl(resumed.results, out)
+        assert out.read_bytes() == clean_jsonl.read_bytes()
+
+    def test_changed_trace_is_reanalyzed_on_resume(self, corpus_dir,
+                                                   tmp_path):
+        items = corpus_items(corpus_dir)
+        journal = BatchJournal(tmp_path / "j.jsonl")
+        run_batch(items, jobs=1, journal=journal)
+        journal.close()
+        victim = items[0].path
+        data = victim.read_bytes()
+        victim.write_bytes(data + b"\x00" * 4)
+        try:
+            resumed_journal = BatchJournal(tmp_path / "j.jsonl",
+                                           resume=True)
+            resumed = run_batch(corpus_items(corpus_dir), jobs=1,
+                                journal=resumed_journal)
+            resumed_journal.close()
+        finally:
+            victim.write_bytes(data)
+        assert resumed.resumed == len(items) - 1
+        assert resumed.cache_misses == 1
+
+    def test_stream_mode_resume_round_trips_fanout(self, tmp_path):
+        from repro.harness.corpus import generate_interleaved_capture
+        from repro.trace.pcap import write_pcap
+        capture = generate_interleaved_capture(
+            implementations=["reno"], connections=2,
+            distinct_transfers=1, data_size=10240, scenarios=("wan",))
+        outdir = tmp_path / "caps"
+        outdir.mkdir()
+        write_pcap(capture.trace, outdir / "multi.pcap")
+        journal = BatchJournal(tmp_path / "j.jsonl", stream=True)
+        cold = run_batch(corpus_items(outdir), jobs=1, stream=True,
+                         journal=journal)
+        journal.close()
+        resumed_journal = BatchJournal(tmp_path / "j.jsonl", stream=True,
+                                       resume=True)
+        warm = run_batch(corpus_items(outdir), jobs=1, stream=True,
+                         journal=resumed_journal)
+        resumed_journal.close()
+        assert warm.resumed == 1
+        assert [r.payload for r in warm.results] \
+            == [r.payload for r in cold.results]
+        assert len(warm.results) == 2   # one per connection
+
+    def test_quarantined_items_are_journaled(self, corpus_dir, tmp_path):
+        import shutil
+        mixed = tmp_path / "mixed"
+        shutil.copytree(corpus_dir, mixed)
+        (mixed / "bad.pcap").write_bytes(b"garbage")
+        journal = BatchJournal(tmp_path / "j.jsonl")
+        run_batch(corpus_items(mixed), jobs=1, journal=journal)
+        journal.close()
+        resumed_journal = BatchJournal(tmp_path / "j.jsonl", resume=True)
+        resumed = run_batch(corpus_items(mixed), jobs=1,
+                            journal=resumed_journal)
+        resumed_journal.close()
+        # The decode failure was a completed outcome: not re-analyzed.
+        assert resumed.cache_misses == 0
+        by_name = {r.name: r.payload for r in resumed.results}
+        assert by_name["bad.pcap"]["error_kind"] == "decode"

@@ -201,3 +201,33 @@ class TestStreamMode:
         batch = run_batch(corpus_items(outdir), jobs=1, stream=True)
         payload, = [r.payload for r in batch.results]
         assert "error" in payload
+
+
+class TestErrorClassification:
+    @pytest.mark.parametrize("exception", [KeyError("afield"),
+                                           RecursionError("too deep")])
+    def test_analysis_defects_surface_as_model_errors(self, corpus_dir,
+                                                      monkeypatch,
+                                                      exception):
+        def explode(*args, **kwargs):
+            raise exception
+        monkeypatch.setattr("repro.pipeline.runner.analyze_trace", explode)
+        batch = run_batch(corpus_items(corpus_dir), jobs=1)
+        for result in batch.results:
+            assert result.payload["error_kind"] == "model"
+            assert type(exception).__name__ in result.payload["error"]
+
+    def test_unreadable_corpus_file_quarantined_as_io(self, corpus_dir,
+                                                      tmp_path):
+        import shutil
+        mixed = tmp_path / "mixed"
+        shutil.copytree(corpus_dir, mixed)
+        # A directory with a .pcap name: content_digest() hits EISDIR
+        # for every user, root included.
+        (mixed / "locked.pcap").mkdir()
+        batch = run_batch(corpus_items(mixed), jobs=1)
+        by_name = {r.name: r.payload for r in batch.results}
+        assert by_name["locked.pcap"]["error_kind"] == "io"
+        # The rest of the batch still ran.
+        assert sum("error" not in p for p in by_name.values()) \
+            == len(batch.results) - 1
