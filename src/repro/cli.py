@@ -41,6 +41,15 @@ Subcommands:
     through the flow demultiplexer and print one tcpanaly report per
     connection, plus ingest statistics.
 
+``fuzz [--seed S] [--count N] [--reproducers DIR] [--verbose]``
+    Run the adversarial scenario fuzzer: N seeded scenarios composing
+    path pathologies, filter defects, and middlebox damage, each
+    pushed through the full pipeline (encode → ingest → demux →
+    identification).  Every scenario must identify correctly, refuse
+    honestly, or quarantine with a classified error — an escaped
+    exception or a silent misidentification fails the run (exit 1),
+    and a minimized reproducer pcap is written per failure.
+
 ``stats TRACE.pcap``
     Per-connection summary statistics (tcptrace-style); handles
     multi-connection captures.
@@ -260,6 +269,28 @@ def _command_corpus(args: argparse.Namespace) -> int:
     return _batch_run(memory_items(written), args)
 
 
+def _command_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import run_sweep
+
+    if args.count < 1:
+        raise ValueError(f"--count must be at least 1, got {args.count}")
+
+    def progress(outcome) -> None:
+        if args.verbose or not outcome.ok:
+            marker = "ok  " if outcome.ok else "FAIL"
+            print(f"{marker} {outcome.plan.describe()}")
+            print(f"     -> {outcome.outcome}: {outcome.detail}")
+
+    report = run_sweep(base_seed=args.seed, count=args.count,
+                       reproducer_dir=args.reproducers,
+                       minimize=not args.no_minimize,
+                       progress=progress)
+    print(report.summary())
+    if not report.passed and args.reproducers:
+        print(f"minimized reproducers written to {args.reproducers}")
+    return 0 if report.passed else 1
+
+
 def _command_stats(args: argparse.Namespace) -> int:
     from repro.analysis.connstats import connection_stats, split_connections
     trace = read_pcap(args.trace)
@@ -407,6 +438,25 @@ def build_parser() -> argparse.ArgumentParser:
     demux.add_argument("--jsonl", default=None,
                        help="write per-flow results as JSON Lines")
     demux.set_defaults(handler=_command_demux)
+
+    fuzz = sub.add_parser("fuzz",
+                          help="adversarial scenario fuzzing: the "
+                          "standing correctness gate")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="base seed; scenario i uses seed + i, so a "
+                      "reported failing seed reproduces alone")
+    fuzz.add_argument("--count", type=int, default=50,
+                      help="number of scenarios to generate and run")
+    fuzz.add_argument("--reproducers", default=None,
+                      help="directory for minimized failure reproducers "
+                      "(pcap + plan JSON per failing seed)")
+    fuzz.add_argument("--no-minimize", action="store_true",
+                      help="save failing captures whole instead of "
+                      "delta-minimizing them first")
+    fuzz.add_argument("--verbose", action="store_true",
+                      help="print one line per scenario, not just "
+                      "failures")
+    fuzz.set_defaults(handler=_command_fuzz)
 
     stats = sub.add_parser("stats", help="per-connection statistics")
     stats.add_argument("trace")

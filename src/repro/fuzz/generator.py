@@ -1,0 +1,171 @@
+"""Seeded scenario planning.
+
+A :class:`ScenarioPlan` is the *complete* recipe for one adversarial
+scenario: which implementation talks over which path, where the
+filter sits and how it misbehaves, which record/frame/file manglers
+run and in what order.  The plan is a pure function of its seed —
+``plan_scenario(s)`` returns the same plan in every process on every
+machine — so a failure reported by a sweep anywhere reproduces from
+its seed alone.
+
+Sampling is weighted, not uniform: the common case (one mangler, a
+plain path) dominates, heavy compositions (cross traffic + middlebox
+damage + torn file) appear in a deliberate minority, and a slice of
+scenarios is left entirely clean so the sweep also guards against
+regressions on *friendly* input.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.fuzz.ingredients import (
+    FILE_MANGLERS,
+    FRAME_MANGLERS,
+    RECORD_MANGLERS,
+)
+from repro.harness.scenarios import SCENARIOS
+from repro.tcp.catalog import CATALOG
+
+#: Network scenarios the fuzzer draws from.  ``satellite`` and the
+#: modems are excluded only for sweep wall-clock; they remain
+#: reachable by naming them in a hand-written plan.
+FUZZ_SCENARIOS = ("lan", "wan", "wan-lossy", "transatlantic",
+                  "lossy-corrupting", "adsl-asymmetric", "ack-lossy",
+                  "congested")
+
+#: Filter defects (applied at the capture point, inside the
+#: simulation) the planner may enable.
+FILTER_FAULTS = ("drops", "duplication", "resequencing")
+
+_DATA_SIZES = (4096, 8192, 16384, 24576, 32768)
+
+
+@dataclass(frozen=True)
+class ScenarioPlan:
+    """One fully specified adversarial scenario."""
+
+    seed: int
+    implementation: str
+    scenario: str
+    data_size: int
+    vantage: str                       # "sender" or "receiver"
+    filter_faults: tuple[str, ...] = ()
+    record_manglers: tuple[str, ...] = ()
+    frame_manglers: tuple[str, ...] = ()
+    file_manglers: tuple[str, ...] = ()
+    cross_connections: tuple[str, ...] = ()   # implementations
+    max_duration: float = 120.0
+
+    def __post_init__(self):
+        if self.scenario not in SCENARIOS:
+            raise ValueError(f"unknown scenario {self.scenario!r}")
+        for name in (self.implementation, *self.cross_connections):
+            if name not in CATALOG:
+                raise ValueError(f"unknown implementation {name!r}")
+        for fault in self.filter_faults:
+            if fault not in FILTER_FAULTS:
+                raise ValueError(f"unknown filter fault {fault!r}")
+        for group, registry in ((self.record_manglers, RECORD_MANGLERS),
+                                (self.frame_manglers, FRAME_MANGLERS),
+                                (self.file_manglers, FILE_MANGLERS)):
+            for name in group:
+                if name not in registry:
+                    raise ValueError(f"unknown mangler {name!r}")
+
+    @property
+    def ingredients(self) -> tuple[str, ...]:
+        """Every adversarial ingredient, for reporting."""
+        return (tuple(f"filter:{f}" for f in self.filter_faults)
+                + tuple(f"record:{m}" for m in self.record_manglers)
+                + tuple(f"frame:{m}" for m in self.frame_manglers)
+                + tuple(f"file:{m}" for m in self.file_manglers))
+
+    def describe(self) -> str:
+        extras = ", ".join(self.ingredients) or "clean"
+        cross = (f" +{len(self.cross_connections)} cross-conn"
+                 if self.cross_connections else "")
+        return (f"seed={self.seed} {self.implementation} over "
+                f"{self.scenario} ({self.data_size} B, "
+                f"{self.vantage} vantage{cross}): {extras}")
+
+    def to_dict(self) -> dict:
+        """JSON-ready form, written next to every reproducer."""
+        return {
+            "seed": self.seed,
+            "implementation": self.implementation,
+            "scenario": self.scenario,
+            "data_size": self.data_size,
+            "vantage": self.vantage,
+            "filter_faults": list(self.filter_faults),
+            "record_manglers": list(self.record_manglers),
+            "frame_manglers": list(self.frame_manglers),
+            "file_manglers": list(self.file_manglers),
+            "cross_connections": list(self.cross_connections),
+            "max_duration": self.max_duration,
+        }
+
+
+def _sample(rng: random.Random, names: tuple[str, ...],
+            count: int) -> tuple[str, ...]:
+    return tuple(rng.sample(list(names), min(count, len(names))))
+
+
+def plan_scenario(seed: int) -> ScenarioPlan:
+    """Compose the adversarial scenario for *seed* (deterministic)."""
+    rng = random.Random(f"plan-{seed}")
+    implementation = rng.choice(list(CATALOG))
+    scenario = rng.choice(FUZZ_SCENARIOS)
+    data_size = rng.choice(_DATA_SIZES)
+    vantage = rng.choice(("sender", "receiver"))
+
+    # ~12% of scenarios stay entirely clean: the sweep must keep
+    # passing friendly input too, or a gate that only sees horrors
+    # would miss a regression that breaks *everything*.
+    if rng.random() < 0.12:
+        return ScenarioPlan(seed=seed, implementation=implementation,
+                            scenario=scenario, data_size=data_size,
+                            vantage=vantage)
+
+    filter_faults = ()
+    if rng.random() < 0.35:
+        filter_faults = _sample(rng, FILTER_FAULTS,
+                                1 if rng.random() < 0.8 else 2)
+
+    record_manglers = ()
+    if rng.random() < 0.55:
+        record_manglers = _sample(rng, tuple(RECORD_MANGLERS),
+                                  1 if rng.random() < 0.7 else 2)
+
+    frame_manglers = ()
+    if rng.random() < 0.55:
+        frame_manglers = _sample(rng, tuple(FRAME_MANGLERS),
+                                 1 if rng.random() < 0.7 else 2)
+
+    file_manglers = ()
+    if rng.random() < 0.15:
+        file_manglers = ("tear-tail",)
+
+    cross_connections: tuple[str, ...] = ()
+    if rng.random() < 0.30:
+        cross_connections = tuple(rng.choice(list(CATALOG))
+                                  for _ in range(rng.randint(1, 2)))
+
+    return ScenarioPlan(seed=seed,
+                        implementation=implementation,
+                        scenario=scenario,
+                        data_size=data_size,
+                        vantage=vantage,
+                        filter_faults=filter_faults,
+                        record_manglers=record_manglers,
+                        frame_manglers=frame_manglers,
+                        file_manglers=file_manglers,
+                        cross_connections=cross_connections)
+
+
+def iter_plans(base_seed: int, count: int) -> Iterator[ScenarioPlan]:
+    """The *count* plans of the sweep rooted at *base_seed*."""
+    for i in range(count):
+        yield plan_scenario(base_seed + i)

@@ -1,0 +1,61 @@
+"""Delta-debugging reproducer minimization.
+
+A fuzzer-found failure on a 400-frame capture is a chore to debug; the
+same failure on 9 frames is an afternoon fix and a permanent
+regression test.  :func:`minimize_frames` is classic ddmin over the
+frame list: remove chunks, keep any removal that preserves the failure
+signature, halve the chunk size when nothing can be removed, stop at
+granularity one.
+
+The predicate gets a candidate frame list and returns True when the
+candidate still fails *the same way* — callers should compare failure
+signatures (outcome class plus exception type), not just "some
+failure", or minimization can walk from the bug being chased to a
+different, already-known one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def minimize_frames(frames: Sequence[T],
+                    still_fails: Callable[[list[T]], bool],
+                    max_probes: int = 400) -> list[T]:
+    """Shrink *frames* to a (1-minimal) list still failing the predicate.
+
+    *max_probes* bounds the number of predicate evaluations: each probe
+    replays the full analysis pipeline, and an adversarial capture can
+    make ddmin quadratic.  On budget exhaustion the best reduction so
+    far is returned — still a valid reproducer, just not minimal.
+    """
+    current = list(frames)
+    if not still_fails(current):
+        raise ValueError("input does not fail the predicate; "
+                         "nothing to minimize")
+    probes = 0
+    chunk = max(1, len(current) // 2)
+    while chunk >= 1 and probes < max_probes:
+        reduced = False
+        start = 0
+        while start < len(current) and probes < max_probes:
+            candidate = current[:start] + current[start + chunk:]
+            if not candidate:
+                start += chunk
+                continue
+            probes += 1
+            if still_fails(candidate):
+                current = candidate
+                reduced = True
+                # Re-test the same offset: the next chunk slid into it.
+            else:
+                start += chunk
+        if not reduced:
+            if chunk == 1:
+                break
+            chunk = max(1, chunk // 2)
+        else:
+            chunk = min(chunk, max(1, len(current) // 2))
+    return current

@@ -27,7 +27,15 @@ from repro.units import kbit, kbyte, mbit
 
 @dataclass(frozen=True)
 class Scenario:
-    """A named network path configuration."""
+    """A named network path configuration.
+
+    The reverse-path and cross-traffic fields model the adversarial
+    path shapes the fuzz layer composes: an asymmetric return channel
+    (ADSL-style thin upstream, where the ack stream itself congests
+    and thins), loss on the ack channel alone, and bursty competing
+    traffic on the forward bottleneck (the queue oscillations that
+    make real-path timestamps noisy).
+    """
 
     name: str
     bottleneck_bandwidth: float = mbit(1.0)
@@ -35,12 +43,27 @@ class Scenario:
     queue_limit: int = 64
     drop_rate: float = 0.0
     corrupt_rate: float = 0.0
+    # Asymmetric return path; None mirrors the forward bottleneck.
+    reverse_bandwidth: float | None = None
+    reverse_delay: float | None = None
+    ack_drop_rate: float = 0.0          # loss on the ack channel only
+    # Competing traffic on the forward bottleneck (bytes/s of offered
+    # load; on/off make it bursty rather than constant-rate).
+    cross_traffic_rate: float = 0.0
+    cross_traffic_on: float | None = None
+    cross_traffic_off: float | None = None
     description: str = ""
 
     def forward_loss(self, seed: int = 0) -> LossModel | None:
         if self.drop_rate == 0.0 and self.corrupt_rate == 0.0:
             return None
         return RandomLoss(self.drop_rate, self.corrupt_rate, seed=seed)
+
+    def reverse_loss(self, seed: int = 0) -> LossModel | None:
+        if self.ack_drop_rate == 0.0:
+            return None
+        # Offset the seed so forward and reverse losses decorrelate.
+        return RandomLoss(self.ack_drop_rate, seed=seed + 0x5EED)
 
     @property
     def rtt(self) -> float:
@@ -74,6 +97,21 @@ SCENARIOS: dict[str, Scenario] = {
         Scenario("lossy-corrupting", bottleneck_bandwidth=mbit(1.0),
                  bottleneck_delay=0.035, drop_rate=0.02, corrupt_rate=0.01,
                  description="loss plus checksum corruption (§7)"),
+        Scenario("adsl-asymmetric", bottleneck_bandwidth=mbit(1.5),
+                 bottleneck_delay=0.025,
+                 reverse_bandwidth=kbit(128), reverse_delay=0.025,
+                 queue_limit=24,
+                 description="thin upstream: the ack channel congests"),
+        Scenario("ack-lossy", bottleneck_bandwidth=mbit(1.0),
+                 bottleneck_delay=0.035, ack_drop_rate=0.10,
+                 description="10% loss on the return path alone "
+                 "(ack-thinned arrivals)"),
+        Scenario("congested", bottleneck_bandwidth=mbit(1.0),
+                 bottleneck_delay=0.035, queue_limit=32,
+                 cross_traffic_rate=60000.0,
+                 cross_traffic_on=0.5, cross_traffic_off=0.5,
+                 description="bursty competing traffic on the "
+                 "bottleneck queue"),
     )
 }
 
@@ -116,7 +154,16 @@ def traced_transfer(behavior: TCPBehavior,
                       bottleneck_delay=scenario.bottleneck_delay,
                       queue_limit=scenario.queue_limit,
                       forward_loss=scenario.forward_loss(seed),
+                      reverse_loss=scenario.reverse_loss(seed),
+                      reverse_bottleneck_bandwidth=scenario.reverse_bandwidth,
+                      reverse_bottleneck_delay=scenario.reverse_delay,
                       quench_threshold=quench_threshold)
+    if scenario.cross_traffic_rate > 0.0:
+        from repro.netsim.crosstraffic import CrossTrafficSource
+        CrossTrafficSource(engine, path.forward_bottleneck,
+                           rate=scenario.cross_traffic_rate,
+                           on_time=scenario.cross_traffic_on,
+                           off_time=scenario.cross_traffic_off).start()
     sender_filter, receiver_filter = attach_filter_pair(
         path, sender_filter, receiver_filter)
     result = run_bulk_transfer(behavior, receiver_behavior,

@@ -106,6 +106,19 @@ def run_bulk_transfer(sender_behavior: TCPBehavior,
                            heartbeat_phase=heartbeat_phase)
     receiver.listen()
     sender.open()
-    engine.run(until=max_duration)
+    # Self-rescheduling background sources (cross traffic) keep the
+    # event queue permanently non-empty, so a single
+    # ``run(until=max_duration)`` would simulate the full horizon no
+    # matter how quickly the transfer finished.  Run in one-second
+    # slices instead and stop a short grace period after completion —
+    # long enough for trailing teardown acks and delayed-ack timers to
+    # be captured.  With a draining queue (no background sources) the
+    # executed event sequence is identical to the single-call form.
+    grace = 4 * path.rtt + 1.0
+    stop_at = max_duration
+    while engine.pending() and engine.now < stop_at:
+        engine.run(until=min(engine.now + 1.0, stop_at))
+        if stop_at == max_duration and sender.done and receiver.fin_seen:
+            stop_at = min(max_duration, engine.now + grace)
     return TransferResult(engine=engine, path=path, sender=sender,
                           receiver=receiver)

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import struct
 from pathlib import Path as FilePath
+from typing import Iterable
 
 from repro.trace.record import Trace
 from repro.trace.wire import AddressMap, encode_record
@@ -61,6 +62,41 @@ def write_pcap(trace: Trace, path: str | FilePath,
             handle.write(struct.pack(endian + "IIII", seconds, micros,
                                      len(packet), original_len))
             handle.write(packet)
+
+
+def write_raw_pcap(frames: Iterable[tuple[float, bytes, int | None]],
+                   path: str | FilePath,
+                   snaplen: int = 65535,
+                   byte_order: str = "big") -> None:
+    """Write pre-encoded raw-IP frames as a pcap file.
+
+    Each frame is ``(timestamp, data, original_length)``;
+    ``original_length`` of None means the frame is whole (``orig_len``
+    = captured length).  A larger ``original_length`` records an
+    honest snaplen-style truncation, exactly as tcpdump would.  This
+    is the frame-level entry point the fuzz layer uses to write
+    captures whose *bytes* — not just whose records — have been
+    mangled.
+    """
+    try:
+        endian = _BYTE_ORDER_PREFIX[byte_order]
+    except KeyError:
+        raise ValueError(f"byte_order must be 'big' or 'little', "
+                         f"not {byte_order!r}")
+    with open(path, "wb") as handle:
+        handle.write(struct.pack(endian + "IHHiIII", PCAP_MAGIC, 2, 4, 0, 0,
+                                 snaplen, LINKTYPE_RAW))
+        for timestamp, data, original_length in frames:
+            if original_length is None:
+                original_length = len(data)
+            seconds = int(timestamp)
+            micros = int(round((timestamp - seconds) * 1e6))
+            if micros >= 1_000_000:
+                seconds += 1
+                micros -= 1_000_000
+            handle.write(struct.pack(endian + "IIII", seconds, micros,
+                                     len(data), original_length))
+            handle.write(data)
 
 
 def read_pcap(path: str | FilePath,

@@ -159,13 +159,18 @@ class Trace:
         return [r for r in self.records if r.flow == flow and r.payload > 0]
 
     def acks(self, flow: FlowKey | None = None) -> list[TraceRecord]:
-        """Pure acks flowing *against* the primary (data) direction
-        (SYN-acks are handshake packets, not acks, and are excluded)."""
+        """Pure acks flowing *against* the primary (data) direction.
+
+        SYN-acks are handshake packets and RSTs are aborts — neither
+        acknowledges data, so neither belongs in ack-policy or
+        receiver analysis even when the segment carries the ACK bit
+        (a pure RST+ACK does).
+        """
         flow = flow or self.primary_flow()
         reverse = flow.reversed()
         return [r for r in self.records
                 if r.flow == reverse and r.has_ack and r.payload == 0
-                and not r.is_syn]
+                and not r.is_syn and not r.is_rst]
 
     def filtered(self, predicate: Callable[[TraceRecord], bool]) -> "Trace":
         return Trace(records=[r for r in self.records if predicate(r)],

@@ -160,7 +160,12 @@ def decode_packet(data: bytes, timestamp: float,
     src_ip = _bytes_to_ip(data[12:16])
     dst_ip = _bytes_to_ip(data[16:20])
 
-    tcp = data[ihl:]
+    # Link layers pad short frames (Ethernet's 60-byte minimum, most
+    # commonly); anything past the IP datagram's own total length is
+    # trailer padding, not TCP segment, and must stay out of both the
+    # option walk and the checksum.
+    tcp_end = min(len(data), total_len) if total_len >= ihl else len(data)
+    tcp = data[ihl:tcp_end]
     if len(tcp) < TCP_HEADER_LEN:
         raise PacketDecodeError("malformed",
                                 "packet shorter than a TCP header")
@@ -175,17 +180,32 @@ def decode_packet(data: bytes, timestamp: float,
     i = 0
     while i < len(options):
         kind = options[i]
-        if kind == 0:
+        if kind == 0:            # end-of-option-list
             break
-        if kind == 1:
+        if kind == 1:            # no-op
             i += 1
             continue
+        # Every other option carries a length byte covering itself; a
+        # walk that trusts a missing, zero, or overrunning length
+        # either crashes or loops — all three are malformed packets,
+        # classified as such so ingest counts them instead of dying.
         if i + 1 >= len(options):
-            break
+            raise PacketDecodeError(
+                "malformed",
+                f"TCP option kind {kind} truncated before its length byte")
         length = options[i + 1]
+        if length < 2:
+            raise PacketDecodeError(
+                "malformed",
+                f"TCP option kind {kind} carries invalid length {length}")
+        if i + length > len(options):
+            raise PacketDecodeError(
+                "malformed",
+                f"TCP option kind {kind} (length {length}) overruns the "
+                f"{len(options)}-byte option area")
         if kind == 2 and length == 4:
             mss_option = struct.unpack("!H", options[i + 2:i + 4])[0]
-        i += max(length, 2)
+        i += length
 
     payload_len = total_len - ihl - header_len
     truncated = len(data) < total_len

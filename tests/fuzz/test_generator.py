@@ -1,0 +1,69 @@
+"""Plan sampling: deterministic, validated, appropriately diverse."""
+
+import pytest
+
+from repro.fuzz.generator import (
+    FUZZ_SCENARIOS,
+    ScenarioPlan,
+    iter_plans,
+    plan_scenario,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_plan(self):
+        assert plan_scenario(42) == plan_scenario(42)
+
+    def test_iter_plans_matches_individual_planning(self):
+        assert list(iter_plans(100, 10)) \
+            == [plan_scenario(100 + i) for i in range(10)]
+
+    def test_plans_are_not_all_identical(self):
+        plans = list(iter_plans(0, 30))
+        assert len({p.implementation for p in plans}) > 3
+        assert len({p.scenario for p in plans}) > 3
+
+
+class TestDiversity:
+    def test_some_plans_are_clean(self):
+        plans = list(iter_plans(0, 100))
+        clean = [p for p in plans if not p.ingredients]
+        assert 3 <= len(clean) <= 35
+
+    def test_every_mangler_layer_appears(self):
+        plans = list(iter_plans(0, 200))
+        assert any(p.record_manglers for p in plans)
+        assert any(p.frame_manglers for p in plans)
+        assert any(p.file_manglers for p in plans)
+        assert any(p.filter_faults for p in plans)
+        assert any(p.cross_connections for p in plans)
+
+    def test_scenarios_come_from_the_fuzz_set(self):
+        for plan in iter_plans(0, 50):
+            assert plan.scenario in FUZZ_SCENARIOS
+
+
+class TestValidation:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            ScenarioPlan(seed=0, implementation="reno",
+                         scenario="underwater", data_size=1024,
+                         vantage="sender")
+
+    def test_unknown_implementation_rejected(self):
+        with pytest.raises(ValueError, match="unknown implementation"):
+            ScenarioPlan(seed=0, implementation="windows-3000",
+                         scenario="wan", data_size=1024, vantage="sender")
+
+    def test_unknown_mangler_rejected(self):
+        with pytest.raises(ValueError, match="unknown mangler"):
+            ScenarioPlan(seed=0, implementation="reno", scenario="wan",
+                         data_size=1024, vantage="sender",
+                         frame_manglers=("blowtorch",))
+
+    def test_to_dict_round_trips_the_plan(self):
+        plan = plan_scenario(7)
+        rebuilt = ScenarioPlan(
+            **{key: tuple(value) if isinstance(value, list) else value
+               for key, value in plan.to_dict().items()})
+        assert rebuilt == plan

@@ -1,0 +1,239 @@
+"""Mangler semantics: each ingredient damages exactly what it claims."""
+
+import random
+
+from repro.packets import ACK, FIN, PSH, RST, SYN, Endpoint
+from repro.fuzz.ingredients import (
+    Frame,
+    damage_checksums,
+    duplicate_records,
+    fin_rst_close,
+    inject_garbage,
+    inject_udp,
+    pad_frames,
+    render_pcap,
+    reorder_records,
+    rewrite_windows,
+    rst_abort,
+    strip_mss,
+    tear_tail,
+    thin_acks,
+    time_travel,
+    truncate_frames,
+    truncate_mss_frames,
+    zero_length_options,
+)
+from repro.trace.record import Trace, TraceRecord
+from repro.trace.wire import AddressMap, decode_packet, encode_record
+
+SENDER = Endpoint("sender", 1024)
+RECEIVER = Endpoint("receiver", 9000)
+
+
+def rec(t, src, dst, flags=ACK, seq=0, ack=0, payload=0, window=8192,
+        mss=None):
+    return TraceRecord(timestamp=t, src=src, dst=dst, seq=seq, ack=ack,
+                       flags=flags, payload=payload, window=window,
+                       mss_option=mss)
+
+
+def transfer_trace() -> Trace:
+    """A small hand-built sender-side transfer trace."""
+    records = [
+        rec(0.00, SENDER, RECEIVER, flags=SYN, seq=100, mss=1460),
+        rec(0.02, RECEIVER, SENDER, flags=SYN | ACK, seq=500, ack=101,
+            mss=1460),
+        rec(0.03, SENDER, RECEIVER, flags=ACK, seq=101, ack=501),
+    ]
+    seq = 101
+    for i in range(6):
+        records.append(rec(0.1 + i * 0.05, SENDER, RECEIVER,
+                           flags=ACK | PSH, seq=seq, ack=501, payload=512))
+        records.append(rec(0.12 + i * 0.05, RECEIVER, SENDER,
+                           flags=ACK, seq=501, ack=seq + 512))
+        seq += 512
+    records.append(rec(0.5, SENDER, RECEIVER, flags=FIN | ACK, seq=seq,
+                       ack=501))
+    records.append(rec(0.52, RECEIVER, SENDER, flags=FIN | ACK, seq=501,
+                       ack=seq + 1))
+    records.append(rec(0.53, SENDER, RECEIVER, flags=ACK, seq=seq + 1,
+                       ack=502))
+    return Trace(records=records, vantage="sender")
+
+
+def frames_of(trace: Trace, addresses: AddressMap) -> list:
+    return [Frame(r.timestamp, encode_record(r, addresses))
+            for r in trace.records]
+
+
+class TestRecordManglers:
+    def test_thin_acks_drops_only_pure_acks(self):
+        trace = transfer_trace()
+        thinned = thin_acks(trace, random.Random(1), drop_fraction=1.0)
+        removed = len(trace) - len(thinned)
+        assert removed == sum(1 for r in trace if r.is_pure_ack)
+        assert all(not r.is_pure_ack for r in thinned)
+
+    def test_reorder_keeps_the_record_set(self):
+        trace = transfer_trace()
+        shuffled = reorder_records(trace, random.Random(2),
+                                   swap_fraction=1.0)
+        assert len(shuffled) == len(trace)
+        times = [r.timestamp for r in shuffled]
+        assert times != sorted(times)  # genuinely out of order
+        assert sorted(times) == sorted(r.timestamp for r in trace)
+
+    def test_rewrite_windows_touches_only_the_ack_direction(self):
+        trace = transfer_trace()
+        mangled = rewrite_windows(trace, random.Random(0), cap=1000)
+        reverse = trace.primary_flow().reversed()
+        for before, after in zip(trace, mangled):
+            if before.flow == reverse:
+                assert after.window == min(before.window, 1000)
+            else:
+                assert after.window == before.window
+
+    def test_strip_mss_removes_every_option(self):
+        mangled = strip_mss(transfer_trace(), random.Random(0))
+        assert all(r.mss_option is None for r in mangled)
+
+    def test_rst_abort_appends_reset(self):
+        mangled = rst_abort(transfer_trace(), random.Random(0))
+        assert mangled[-1].is_rst
+        assert len(mangled) < len(transfer_trace())
+
+    def test_rst_abort_stale_data_straggles_after_reset(self):
+        mangled = rst_abort(transfer_trace(), random.Random(0),
+                            stale_data=True)
+        assert mangled[-2].is_rst
+        assert mangled[-1].payload > 0
+        assert mangled[-1].timestamp > mangled[-2].timestamp
+
+    def test_fin_rst_close_folds_rst_into_the_last_fin(self):
+        mangled = fin_rst_close(transfer_trace(), random.Random(0))
+        combined = [r for r in mangled if r.is_fin and r.is_rst]
+        assert len(combined) == 1
+
+    def test_duplicates_are_adjacent_copies(self):
+        trace = transfer_trace()
+        mangled = duplicate_records(trace, random.Random(3),
+                                    duplicate_fraction=1.0)
+        assert len(mangled) == 2 * len(trace)
+        for i in range(0, len(mangled), 2):
+            assert mangled[i + 1].seq == mangled[i].seq
+            assert mangled[i + 1].timestamp > mangled[i].timestamp
+
+    def test_same_seed_same_result(self):
+        trace = transfer_trace()
+        a = thin_acks(trace, random.Random(7))
+        b = thin_acks(trace, random.Random(7))
+        assert a.records == b.records
+
+
+class TestFrameManglers:
+    def test_pad_frames_keeps_packets_decodable(self):
+        addresses = AddressMap()
+        frames = frames_of(transfer_trace(), addresses)
+        padded = pad_frames(frames, random.Random(1), pad_fraction=1.0)
+        assert all(len(p.data) > len(f.data)
+                   for p, f in zip(padded, frames))
+        for frame in padded:
+            decoded = decode_packet(frame.data, frame.timestamp, addresses)
+            assert not decoded.corrupted
+
+    def test_truncate_frames_records_original_length(self):
+        addresses = AddressMap()
+        frames = frames_of(transfer_trace(), addresses)
+        cut = truncate_frames(frames, random.Random(1),
+                              truncate_fraction=1.0)
+        shortened = [(c, f) for c, f in zip(cut, frames)
+                     if len(c.data) < len(f.data)]
+        assert shortened
+        for c, f in shortened:
+            assert c.orig_len == len(f.data)
+
+    def test_damage_checksums_flips_payload_not_headers(self):
+        addresses = AddressMap()
+        frames = frames_of(transfer_trace(), addresses)
+        damaged = damage_checksums(frames, random.Random(1),
+                                   damage_fraction=1.0)
+        changed = [(d, f) for d, f in zip(damaged, frames)
+                   if d.data != f.data]
+        assert changed
+        for d, f in changed:
+            decoded = decode_packet(d.data, d.timestamp, addresses)
+            assert decoded.corrupted
+            assert decoded.seq == decode_packet(f.data, f.timestamp,
+                                                addresses).seq
+
+    def test_truncate_mss_rewrites_only_option_carrying_frames(self):
+        addresses = AddressMap()
+        frames = frames_of(transfer_trace(), addresses)
+        mangled = truncate_mss_frames(frames, random.Random(1), 1.0)
+        changed = sum(1 for m, f in zip(mangled, frames)
+                      if m.data != f.data)
+        with_options = sum(1 for r in transfer_trace()
+                           if r.mss_option is not None)
+        assert changed == with_options
+
+    def test_garbage_and_udp_frames_are_added(self):
+        addresses = AddressMap()
+        frames = frames_of(transfer_trace(), addresses)
+        more = inject_udp(inject_garbage(frames, random.Random(1)),
+                          random.Random(2))
+        assert len(more) == len(frames) + 2 + 3
+
+    def test_time_travel_steps_one_clock_backwards(self):
+        addresses = AddressMap()
+        frames = frames_of(transfer_trace(), addresses)
+        warped = time_travel(frames, random.Random(3))
+        moved = [(w, f) for w, f in zip(warped, frames)
+                 if w.timestamp != f.timestamp]
+        assert len(moved) == 1
+        assert moved[0][0].timestamp < moved[0][1].timestamp
+
+    def test_zero_length_option_written(self):
+        addresses = AddressMap()
+        frames = frames_of(transfer_trace(), addresses)
+        mangled = zero_length_options(frames, random.Random(1), 1.0)
+        assert any(m.data != f.data for m, f in zip(mangled, frames))
+
+
+class TestFileManglers:
+    def test_tear_tail_lies_about_the_last_frame(self):
+        addresses = AddressMap()
+        frames = frames_of(transfer_trace(), addresses)
+        torn = tear_tail(frames, random.Random(1))
+        last = torn[-1]
+        assert last.declared_len is not None
+        assert last.declared_len > len(last.data)
+        assert torn[:-1] == frames[:-1]
+
+
+class TestRenderPcap:
+    def test_renders_readable_container(self, tmp_path):
+        from repro.stream.reader import iter_pcap
+
+        addresses = AddressMap()
+        trace = transfer_trace()
+        frames = frames_of(trace, addresses)
+        path = tmp_path / "render.pcap"
+        path.write_bytes(render_pcap(frames))
+        records = list(iter_pcap(path, addresses=addresses))
+        assert len(records) == len(trace)
+        assert [r.seq for r in records] == [r.seq for r in trace]
+
+    def test_declared_len_truncates_the_stream(self, tmp_path):
+        from repro.stream.reader import iter_pcap
+        from repro.stream.stats import IngestStats
+
+        addresses = AddressMap()
+        frames = frames_of(transfer_trace(), addresses)
+        torn = tear_tail(frames, random.Random(1))
+        path = tmp_path / "torn.pcap"
+        path.write_bytes(render_pcap(torn))
+        stats = IngestStats()
+        records = list(iter_pcap(path, addresses=addresses, stats=stats))
+        # The reader must not die on the lying final header; the torn
+        # record is either salvaged (headers intact) or counted.
+        assert len(records) >= len(torn) - 1

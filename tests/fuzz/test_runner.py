@@ -1,0 +1,135 @@
+"""The fuzz harness end to end: oracle verdicts, sweeps, minimization."""
+
+import json
+
+import pytest
+
+from repro.fuzz import FAIL_OUTCOMES, minimize_frames, run_scenario, run_sweep
+from repro.fuzz.generator import ScenarioPlan, plan_scenario
+from repro.fuzz.ingredients import Frame, render_pcap
+from repro.fuzz.runner import build_capture, evaluate_capture
+
+
+def clean_plan(seed: int = 0, **overrides) -> ScenarioPlan:
+    spec = dict(seed=seed, implementation="reno", scenario="lan",
+                data_size=8192, vantage="sender")
+    spec.update(overrides)
+    return ScenarioPlan(**spec)
+
+
+class TestRunScenario:
+    def test_clean_scenario_identifies_the_truth(self):
+        outcome = run_scenario(clean_plan())
+        assert outcome.outcome == "identified"
+        assert outcome.ok
+        assert "reno" in outcome.detail
+
+    def test_deterministic_across_runs(self):
+        a = run_scenario(clean_plan(seed=3))
+        b = run_scenario(clean_plan(seed=3))
+        assert (a.outcome, a.detail) == (b.outcome, b.detail)
+        assert [f.data for f in a.frames] == [f.data for f in b.frames]
+
+    def test_mangled_scenario_still_classifies(self):
+        plan = clean_plan(seed=5,
+                          record_manglers=("thin-acks", "reorder"),
+                          frame_manglers=("pad", "garbage"),
+                          file_manglers=("tear-tail",))
+        outcome = run_scenario(plan)
+        assert outcome.ok, f"{outcome.outcome}: {outcome.detail}"
+
+    def test_cross_connections_share_the_capture(self):
+        plan = clean_plan(seed=9, cross_connections=("tahoe", "linux-1.0"))
+        outcome = run_scenario(plan)
+        assert outcome.ok, f"{outcome.outcome}: {outcome.detail}"
+        # Three connections' worth of packets ended up interleaved.
+        clean = run_scenario(clean_plan(seed=9))
+        assert len(outcome.frames) > len(clean.frames)
+
+
+class TestOracle:
+    def test_empty_capture_is_consumed(self, tmp_path):
+        from repro.trace.wire import AddressMap
+        from repro.stream.flowtable import ConnectionKey
+        from repro.packets import Endpoint
+
+        path = tmp_path / "empty.pcap"
+        path.write_bytes(render_pcap([]))
+        key = ConnectionKey.of(Endpoint("a", 1), Endpoint("b", 2))
+        outcome, _ = evaluate_capture(path, AddressMap(), key, "reno")
+        assert outcome == "consumed"
+
+    def test_all_garbage_capture_is_consumed(self, tmp_path):
+        import random
+
+        from repro.fuzz.ingredients import inject_garbage
+        from repro.trace.wire import AddressMap
+        from repro.stream.flowtable import ConnectionKey
+        from repro.packets import Endpoint
+
+        frames = inject_garbage([], random.Random(1), count=5)
+        path = tmp_path / "garbage.pcap"
+        path.write_bytes(render_pcap(frames))
+        key = ConnectionKey.of(Endpoint("a", 1), Endpoint("b", 2))
+        outcome, detail = evaluate_capture(path, AddressMap(), key, "reno")
+        assert outcome == "consumed"
+        assert "accounted" in detail
+
+    def test_fail_outcomes_is_a_closed_set(self):
+        assert FAIL_OUTCOMES == {"misidentified", "unclassified",
+                                 "silently-lost"}
+
+
+class TestSweep:
+    def test_small_sweep_passes_and_tallies(self):
+        report = run_sweep(base_seed=0, count=4)
+        assert report.passed
+        assert sum(report.outcomes.values()) == 4
+        assert report.count == 4
+
+    def test_sweep_report_serializes(self):
+        report = run_sweep(base_seed=0, count=2)
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["passed"] is True
+        assert payload["base_seed"] == 0
+
+    def test_progress_callback_sees_every_outcome(self):
+        seen = []
+        run_sweep(base_seed=0, count=3, progress=seen.append)
+        assert [o.plan.seed for o in seen] == [0, 1, 2]
+
+
+class TestMinimize:
+    def test_minimizes_to_the_failing_core(self):
+        # Synthetic predicate: fails iff frames 13 and 27 are both
+        # present — ddmin must find exactly that pair.
+        frames = [Frame(float(i), bytes([i])) for i in range(40)]
+
+        def still_fails(candidate):
+            data = {f.data[0] for f in candidate}
+            return 13 in data and 27 in data
+
+        reduced = minimize_frames(frames, still_fails)
+        assert sorted(f.data[0] for f in reduced) == [13, 27]
+
+    def test_rejects_a_passing_input(self):
+        with pytest.raises(ValueError, match="does not fail"):
+            minimize_frames([Frame(0.0, b"x")], lambda frames: False)
+
+    def test_probe_budget_still_returns_a_reproducer(self):
+        frames = [Frame(float(i), bytes([i])) for i in range(64)]
+
+        def still_fails(candidate):
+            return any(f.data[0] == 5 for f in candidate)
+
+        reduced = minimize_frames(frames, still_fails, max_probes=3)
+        assert any(f.data[0] == 5 for f in reduced)
+
+
+class TestBuildCapture:
+    def test_returns_truth_matching_the_plan(self):
+        frames, addresses, key, impl = build_capture(clean_plan(seed=11))
+        assert impl == "reno"
+        assert frames
+        ports = {key.a.port, key.b.port}
+        assert 9000 in ports      # the server side survives remapping

@@ -66,3 +66,56 @@ class TestTracedTransfer:
         assert len(transfer.sender_trace) > 0
         assert len(transfer.receiver_trace) > 0
         assert transfer.scenario.name == "wan"
+
+
+class TestAdversarialScenarios:
+    """The asymmetric / lossy-ack / cross-traffic additions the fuzz
+    layer composes on."""
+
+    def test_new_scenarios_present(self):
+        for name in ("adsl-asymmetric", "ack-lossy", "congested"):
+            assert name in SCENARIOS
+
+    def test_asymmetric_reverse_path_is_narrower(self):
+        scenario = SCENARIOS["adsl-asymmetric"]
+        assert scenario.reverse_bandwidth is not None
+        assert scenario.reverse_bandwidth < scenario.bottleneck_bandwidth
+
+    def test_reverse_loss_only_when_ack_drop_rate_set(self):
+        assert SCENARIOS["wan"].reverse_loss() is None
+        assert SCENARIOS["ack-lossy"].reverse_loss() is not None
+
+    def test_ack_lossy_transfer_completes(self):
+        transfer = traced_transfer(get_behavior("reno"), "ack-lossy",
+                                   data_size=10240, seed=3)
+        assert transfer.result.completed
+        # Ack thinning is visible at the sender: fewer acks arrive
+        # than data packets were sent.
+        trace = transfer.sender_trace
+        assert len(trace.acks()) < len(trace.data_packets())
+
+    def test_congested_transfer_sees_cross_traffic(self):
+        transfer = traced_transfer(get_behavior("reno"), "congested",
+                                   data_size=10240, seed=3)
+        assert transfer.result.completed
+        # The receiver-side tap observes the cross-traffic flows too —
+        # the multi-flow fodder the demux fuzzing relies on.
+        assert len(transfer.receiver_trace.flows()) > 2
+
+    def test_congested_stops_soon_after_completion(self):
+        transfer = traced_transfer(get_behavior("reno"), "congested",
+                                   data_size=10240, seed=3)
+        engine = transfer.result.engine
+        # The self-rescheduling cross-traffic source must not drag the
+        # simulation to the 600 s horizon once the transfer is done.
+        assert engine.now < 60.0
+
+    def test_congested_deterministic(self):
+        a = traced_transfer(get_behavior("reno"), "congested",
+                            data_size=10240, seed=7)
+        b = traced_transfer(get_behavior("reno"), "congested",
+                            data_size=10240, seed=7)
+        assert [r.seq for r in a.sender_trace] \
+            == [r.seq for r in b.sender_trace]
+        assert [r.timestamp for r in a.sender_trace] \
+            == [r.timestamp for r in b.sender_trace]

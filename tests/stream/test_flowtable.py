@@ -167,3 +167,51 @@ class TestDemuxRecords:
         # Flow 0 completed mid-stream (fin + time-wait), flow 1 at eof.
         assert flows[0].close_reason == "fin"
         assert flows[1].close_reason == "eof"
+
+
+class TestTeardownEdges:
+    """Edge cases the adversarial fuzzer exercises: abortive closes,
+    4-tuple reuse inside time-wait, and post-close stragglers."""
+
+    def test_fin_rst_in_one_segment_closes_as_rst(self):
+        stats = IngestStats()
+        table = FlowTable(time_wait=2.0, stats=stats)
+        a = client(0)
+        for record in handshake(0.0, a, SERVER):
+            table.add(record)
+        # An abortive-close middlebox folds FIN and RST together; the
+        # abort wins over the orderly-close interpretation.
+        table.add(rec(1.0, a, SERVER, flags=FIN | RST | ACK, seq=1, ack=1))
+        completed = table.add(rec(10.0, client(1), SERVER, flags=SYN))
+        flow, = completed
+        assert flow.close_reason == "rst"
+        assert len(flow.records) == 4
+
+    def test_syn_reuse_during_rst_time_wait(self):
+        table = FlowTable(time_wait=60.0)
+        a = client(0)
+        for record in handshake(0.0, a, SERVER):
+            table.add(record)
+        table.add(rec(1.0, SERVER, a, flags=RST | ACK, ack=1))
+        # Fresh SYN on the same 4-tuple well inside the time-wait: the
+        # reset connection must retire, not absorb the new handshake.
+        completed = table.add(rec(2.0, a, SERVER, flags=SYN))
+        assert [f.close_reason for f in completed] == ["rst"]
+        flow, = table.drain()
+        assert flow.saw_syn
+        assert len(flow.records) == 1
+
+    def test_data_after_closing_stays_attached(self):
+        table = FlowTable(time_wait=2.0)
+        a = client(0)
+        for record in handshake(0.0, a, SERVER) + teardown(1.0, a, SERVER):
+            table.add(record)
+        # A straggling in-flight data packet lands after the teardown
+        # completed but inside time-wait: it belongs to the closed
+        # connection, and must not resurrect it.
+        table.add(rec(1.5, a, SERVER, seq=1, payload=100))
+        completed = table.add(rec(10.0, client(1), SERVER, flags=SYN))
+        flow, = completed
+        assert flow.close_reason == "fin"
+        assert flow.records[-1].payload == 100
+        assert flow.closing_at == pytest.approx(1.02)

@@ -329,3 +329,21 @@ class TestIdentifyReceiver:
         out = capsys.readouterr().out
         assert "acking-policy close fits" in out
         assert "reno" in out
+
+
+class TestFuzzCommand:
+    def test_small_sweep_passes(self, capsys):
+        assert main(["fuzz", "--seed", "0", "--count", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 scenarios from seed 0 -> PASS" in out
+
+    def test_verbose_prints_each_scenario(self, capsys):
+        assert main(["fuzz", "--seed", "0", "--count", "1",
+                     "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "ok   seed=0" in out
+        assert "-> " in out
+
+    def test_rejects_non_positive_count(self, capsys):
+        assert main(["fuzz", "--count", "0"]) == 2
+        assert "--count" in capsys.readouterr().err
