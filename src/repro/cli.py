@@ -41,6 +41,22 @@ Subcommands:
     through the flow demultiplexer and print one tcpanaly report per
     connection, plus ingest statistics.
 
+``serve [CAPTURE...] --out DIR [--spool DIR] [--jobs N] [--http PORT]
+[--timeout S] [--retries N] [--high-water N] [--low-water N]
+[--exit-when-idle] [--quiet S]``
+    Run the always-on analysis daemon: tail growing captures (and a
+    watched spool directory) through live flow demux, analyze retired
+    flows on supervised workers sharded by connection, and publish
+    results incrementally — per-source JSONL under ``DIR/results/``,
+    a checkpoint journal at ``DIR/journal.jsonl``, and (with
+    ``--http``) ``/healthz``, ``/readyz``, and ``/stats`` on a local
+    HTTP endpoint (``--http 0`` picks an ephemeral port, announced in
+    ``DIR/http.port``).  Backpressure pauses tailing while the
+    analysis queue is above the high-water mark.  SIGTERM/SIGINT
+    drain gracefully: submitted flows finish and are journaled, open
+    flows are left for the restart, which resumes from the journal
+    without reanalyzing or duplicating anything.
+
 ``fuzz [--seed S] [--count N] [--reproducers DIR] [--verbose]``
     Run the adversarial scenario fuzzer: N seeded scenarios composing
     path pathologies, filter defects, and middlebox damage, each
@@ -201,6 +217,57 @@ def _command_demux(args: argparse.Namespace) -> int:
                 handle.write(line + "\n")
         print(f"wrote {flows} result(s) to {args.jsonl}")
     return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    import signal
+    from pathlib import Path
+
+    from repro.serve import ServeConfig, ServeDaemon
+
+    captures = [Path(capture) for capture in args.captures]
+    if not captures and args.spool is None:
+        raise ValueError("serve needs at least one capture file "
+                         "or --spool DIR")
+    timeout = args.timeout
+    if timeout is not None and timeout <= 0:
+        timeout = None
+    config = ServeConfig(
+        out_dir=Path(args.out),
+        captures=captures,
+        spool=Path(args.spool) if args.spool else None,
+        workers=args.jobs,
+        timeout=timeout,
+        retries=args.retries,
+        http_port=args.http,
+        high_water=args.high_water,
+        low_water=args.low_water,
+        poll_interval=args.poll,
+        exit_when_idle=args.exit_when_idle,
+        quiet_seconds=args.quiet)
+    daemon = ServeDaemon(config)
+
+    def drain(signum, frame) -> None:
+        # Flip a flag and return: the daemon loop notices, stops
+        # tailing, finishes submitted flows, and exits 0.  Repeated
+        # signals are idempotent — the drain is already underway.
+        daemon.request_stop()
+
+    signal.signal(signal.SIGTERM, drain)
+    signal.signal(signal.SIGINT, drain)
+    sources = [str(capture) for capture in captures]
+    if args.spool:
+        sources.append(f"spool:{args.spool}")
+    print(f"tcpanaly serve: {', '.join(sources)} -> {args.out} "
+          f"({args.jobs} worker(s))", flush=True)
+    code = daemon.run()
+    counters = daemon.metrics.to_dict()["counters"]
+    print(f"tcpanaly serve: drained — "
+          f"{counters['flows_completed']} flow(s) analyzed, "
+          f"{counters['sink_lines']} sink line(s), "
+          f"{counters['journal_skips']} resumed from journal",
+          flush=True)
+    return code
 
 
 def _batch_run(items, args, journal=None) -> int:
@@ -438,6 +505,44 @@ def build_parser() -> argparse.ArgumentParser:
     demux.add_argument("--jsonl", default=None,
                        help="write per-flow results as JSON Lines")
     demux.set_defaults(handler=_command_demux)
+
+    serve = sub.add_parser("serve",
+                           help="always-on analysis daemon: tail growing "
+                           "captures, analyze flows live")
+    serve.add_argument("captures", nargs="*",
+                       help="pcap files to tail (they may still be "
+                       "growing, or not exist yet)")
+    serve.add_argument("--spool", default=None,
+                       help="directory watched for drop-in *.pcap "
+                       "captures")
+    serve.add_argument("--out", required=True,
+                       help="output directory: results/*.jsonl per "
+                       "source, journal.jsonl, http.port")
+    serve.add_argument("--jobs", type=int, default=2,
+                       help="analysis worker processes")
+    serve.add_argument("--http", type=int, default=None, metavar="PORT",
+                       help="serve /healthz, /readyz, /stats on this "
+                       "local port (0 = ephemeral, see http.port)")
+    serve.add_argument("--timeout", type=float, default=300.0,
+                       help="per-flow wall-clock analysis timeout; 0 "
+                       "disables the budget")
+    serve.add_argument("--retries", type=int, default=2,
+                       help="crash-requeue budget per flow before "
+                       "quarantine")
+    serve.add_argument("--high-water", type=int, default=64,
+                       help="queued flows at which tailing pauses "
+                       "(backpressure)")
+    serve.add_argument("--low-water", type=int, default=8,
+                       help="queued flows at which tailing resumes")
+    serve.add_argument("--poll", type=float, default=0.2,
+                       help="daemon loop tick in seconds")
+    serve.add_argument("--exit-when-idle", action="store_true",
+                       help="exit 0 once every source is quiet (treat "
+                       "captures as complete; batch-comparison mode)")
+    serve.add_argument("--quiet", type=float, default=2.0,
+                       help="seconds of quiescence that count as idle "
+                       "for --exit-when-idle")
+    serve.set_defaults(handler=_command_serve)
 
     fuzz = sub.add_parser("fuzz",
                           help="adversarial scenario fuzzing: the "

@@ -7,7 +7,8 @@ behavior *before* the capture point: ack thinning on asymmetric
 return channels, almost-sorted reordering (the reordering-heavy paths
 of arXiv 0810.1639), middlebox window rewriting and MSS-option
 stripping (the mangling modes cataloged by arXiv 2002.05400), RST
-aborts, and measurement duplicates.
+aborts, measurement duplicates, and sequence-space wraparound
+(rebasing both ISNs so the transfer crosses 2**32 mid-flight).
 
 **Frame manglers** (``list[Frame] -> list[Frame]``) do byte surgery
 on encoded packets — the damage a capture path inflicts after the
@@ -30,6 +31,7 @@ from dataclasses import dataclass, replace
 
 from repro.packets import ACK, RST
 from repro.trace.record import Trace, TraceRecord
+from repro.units import SEQ_SPACE, seq_add
 
 #: pcap constants, duplicated knowingly: the fuzzer must be able to
 #: write containers the production writer would refuse.
@@ -192,6 +194,46 @@ def duplicate_records(trace: Trace, rng: random.Random,
     return _rebuild(trace, records)
 
 
+def wrap_sequences(trace: Trace, rng: random.Random) -> Trace:
+    """Rebase both directions' ISNs so the primary (data) direction's
+    sequence space wraps past 2**32 mid-transfer.
+
+    A wrap is perfectly legal TCP — the ISN is 32-bit random, so one
+    transfer in ~2**32/size crosses zero — but it is poison to any
+    analysis that compares raw sequence numbers instead of using
+    modular arithmetic (``seq_diff``/``seq_lt``).  The shift lands the
+    wrap *inside* a mid-transfer data segment (its payload straddles
+    zero), and the reverse direction gets an independent random ISN so
+    ack numbers exercise the same arithmetic.
+    """
+    flow = trace.primary_flow()
+    reverse = flow.reversed()
+    forward = [r for r in trace.records if r.flow == flow]
+    if not forward:
+        return trace
+    # The record the wrap lands in: middle half of the transfer, so
+    # both sides of the wrap hold enough packets to analyze.
+    lo = len(forward) // 4
+    target = forward[rng.randint(lo, max(lo, (3 * len(forward)) // 4))]
+    inside = rng.randint(0, max(target.payload - 1, 0))
+    delta_fwd = (SEQ_SPACE - target.seq - inside) % SEQ_SPACE
+    delta_rev = rng.randrange(SEQ_SPACE)
+    records = []
+    for record in trace.records:
+        if record.flow == flow:
+            record = replace(
+                record, seq=seq_add(record.seq, delta_fwd),
+                ack=seq_add(record.ack, delta_rev)
+                if record.has_ack else record.ack)
+        elif record.flow == reverse:
+            record = replace(
+                record, seq=seq_add(record.seq, delta_rev),
+                ack=seq_add(record.ack, delta_fwd)
+                if record.has_ack else record.ack)
+        records.append(record)
+    return _rebuild(trace, records)
+
+
 RECORD_MANGLERS = {
     "thin-acks": thin_acks,
     "reorder": reorder_records,
@@ -200,6 +242,7 @@ RECORD_MANGLERS = {
     "rst-abort": rst_abort,
     "fin-rst": fin_rst_close,
     "duplicates": duplicate_records,
+    "seq-wraparound": wrap_sequences,
 }
 
 

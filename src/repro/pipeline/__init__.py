@@ -18,7 +18,11 @@ from repro.core.errors import ERROR_KINDS, AnalysisError, classify_exception
 from repro.pipeline.cache import ResultCache, file_digest, trace_digest
 from repro.pipeline.journal import BatchJournal
 from repro.pipeline.report import aggregate_report, result_line, write_jsonl
-from repro.pipeline.resilience import SupervisedPool, error_payload
+from repro.pipeline.resilience import (
+    PoolSession,
+    SupervisedPool,
+    error_payload,
+)
 from repro.pipeline.runner import (
     BatchItem,
     BatchResult,
@@ -37,6 +41,7 @@ __all__ = [
     "BatchItem",
     "BatchJournal",
     "BatchResult",
+    "PoolSession",
     "ResultCache",
     "SupervisedPool",
     "TraceResult",

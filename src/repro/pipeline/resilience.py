@@ -7,23 +7,34 @@ wild traces) that is the difference between a batch that completes
 with a few quarantined entries and a batch that dies at 3 a.m. on
 trace 31,207.
 
-:class:`SupervisedPool` dispatches one item at a time to each worker
-over a private task queue, so the parent always knows exactly which
-item every worker holds.  The supervision loop then enforces two
-promises:
+:class:`PoolSession` is the supervision substrate: a long-lived pool
+of worker slots that accepts work incrementally (:meth:`submit`) and
+surfaces completions incrementally (:meth:`poll`), so a caller that
+discovers its work over time — the serve daemon tailing a live
+capture — gets the same crash/hang guarantees as a fixed batch:
 
 - **Crash recovery** — a dead worker's in-flight item is requeued with
   a bounded retry budget; when the budget is spent the item is
-  quarantined as ``error_kind: "crash"`` and the batch continues.
-- **Per-trace timeouts** — an item holding a worker past the
+  quarantined as ``error_kind: "crash"`` and the session continues.
+- **Per-item timeouts** — an item holding a worker past the
   wall-clock budget gets its worker killed and is quarantined as
   ``error_kind: "timeout"`` (no retry: a deterministic hang would
   just hang again).
 
-Either way a replacement worker is spawned and the pool stays at full
-strength.  Every input index is resolved exactly once — late results
-from a worker that raced its own crash diagnosis are dropped, and
-requeued duplicates of an already-resolved index are skipped.
+Either way a replacement worker is spawned (counted in
+:attr:`PoolSession.worker_restarts`) and the pool stays at full
+strength.  Every submitted index is resolved exactly once — late
+results from a worker that raced its own crash diagnosis are dropped,
+and requeued duplicates of an already-resolved index are skipped.
+
+Work may be pinned to a slot with ``submit(..., shard=n)``: all items
+sharing ``n % workers`` execute on the same worker in submission
+order.  The serve scheduler shards by connection-key hash so one
+connection's flows never race each other.
+
+:class:`SupervisedPool` is the original fixed-batch interface, now a
+thin generator wrapper over one session per ``run()`` — the existing
+resilience test suite exercises the session through it.
 """
 
 from __future__ import annotations
@@ -98,8 +109,270 @@ class _Worker:
     tasks: "multiprocessing.Queue" = field(repr=False, default=None)
 
 
+@dataclass
+class _Slot:
+    """One worker position: its process, queue, backlog, in-flight item.
+
+    The slot outlives any individual worker process — crashes and
+    kills replace the worker, never the slot, which is what makes
+    shard pinning stable across restarts.
+    """
+
+    worker: _Worker | None = None
+    backlog: deque = field(default_factory=deque)
+    # (index, item, attempt) plus its dispatch time, or None when idle.
+    inflight: tuple[tuple, float] | None = None
+
+
+class PoolSession:
+    """A long-lived supervised pool: submit work anytime, poll results.
+
+    Unlike :meth:`SupervisedPool.run`, the total amount of work need
+    not be known up front; :attr:`outstanding` tracks what has been
+    submitted but not yet resolved.  Callers drive the session with a
+    loop of ``submit``/``poll`` and finish with :meth:`close`.
+    """
+
+    def __init__(self, workers: int,
+                 worker_fn: Callable[[int, object, int], list[dict]],
+                 timeout: float | None = None,
+                 retries: int = 2,
+                 poll: float = POLL_INTERVAL):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, not {workers}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, not {retries}")
+        self._worker_fn = worker_fn
+        self._timeout = timeout
+        self._retries = retries
+        self._poll = poll
+        self._context = multiprocessing.get_context()
+        self._result_queue = self._context.Queue()
+        self._slots = [_Slot() for _ in range(workers)]
+        self._slot_of: dict[int, int] = {}      # worker_id -> slot no.
+        self._shared: deque = deque()           # unpinned backlog
+        self._resolved: set[int] = set()
+        self._outstanding = 0
+        self._next_worker_id = 0
+        self._started = 0       # workers ever spawned
+        self._closed = False
+        self.worker_restarts = 0
+
+    @property
+    def workers(self) -> int:
+        return len(self._slots)
+
+    @property
+    def outstanding(self) -> int:
+        """Items submitted but not yet resolved (queued or running)."""
+        return self._outstanding
+
+    @property
+    def queue_depth(self) -> int:
+        """Items waiting for a worker (excludes the in-flight set)."""
+        return len(self._shared) + sum(len(s.backlog) for s in self._slots)
+
+    @property
+    def inflight(self) -> int:
+        return sum(1 for slot in self._slots if slot.inflight is not None)
+
+    def submit(self, index: int, item, shard: int | None = None) -> None:
+        """Enqueue one work item.
+
+        *index* must be unique across the session's lifetime — it is
+        how results are matched to submissions.  With *shard*, the
+        item is pinned to slot ``shard % workers`` and runs after
+        everything previously pinned there; without, any free worker
+        takes it.
+        """
+        if self._closed:
+            raise ValueError("session is closed")
+        task = (index, item, 0)
+        if shard is None:
+            self._shared.append(task)
+        else:
+            self._slots[shard % len(self._slots)].backlog.append(task)
+        self._outstanding += 1
+        self._pump()
+
+    def poll(self, timeout: float | None = None
+             ) -> list[tuple[int, list[dict], float]]:
+        """Collect finished work, blocking at most *timeout* seconds.
+
+        Returns ``(index, payloads, elapsed)`` triples in completion
+        order — possibly none.  When no result arrives within the
+        wait, the in-flight set is health-checked instead, which is
+        where crashes and hangs are diagnosed and quarantined; their
+        error payloads are returned like any other completion.
+        """
+        if self._closed:
+            raise ValueError("session is closed")
+        self._pump()
+        results: list[tuple[int, list[dict], float]] = []
+        wait = self._poll if timeout is None else timeout
+        block = self._outstanding > 0 and wait > 0
+        while True:
+            try:
+                if block:
+                    message = self._result_queue.get(timeout=wait)
+                else:
+                    message = self._result_queue.get_nowait()
+            except queue.Empty:
+                if block:
+                    results.extend(self._health_check())
+                break
+            block = False       # drain the rest without waiting
+            worker_id, index, payloads, elapsed = message
+            slot_no = self._slot_of.get(worker_id)
+            if slot_no is not None:
+                slot = self._slots[slot_no]
+                if slot.inflight is not None \
+                        and slot.inflight[0][0] == index:
+                    slot.inflight = None
+            if index in self._resolved:
+                continue        # late duplicate of a diagnosed item
+            self._resolved.add(index)
+            self._outstanding -= 1
+            results.append((index, payloads, elapsed))
+        self._pump()
+        return results
+
+    def drain(self) -> Iterator[tuple[int, list[dict], float]]:
+        """Yield results until nothing submitted remains unresolved."""
+        while self._outstanding > 0:
+            yield from self.poll()
+
+    def close(self, graceful: bool = True) -> None:
+        """Tear the pool down without ever hanging the parent."""
+        if self._closed:
+            return
+        self._closed = True
+        workers = [slot.worker for slot in self._slots
+                   if slot.worker is not None]
+        for worker in workers:
+            if graceful and worker.process.is_alive():
+                try:
+                    worker.tasks.put(None)
+                except (OSError, ValueError):
+                    pass
+        for worker in workers:
+            worker.process.join(timeout=1.0 if graceful else 0.1)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(timeout=5.0)
+            worker.tasks.close()
+            worker.tasks.cancel_join_thread()
+        self._result_queue.close()
+        self._result_queue.cancel_join_thread()
+
+    # -- internals ---------------------------------------------------
+
+    def _spawn(self, slot_no: int) -> None:
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        task_queue = self._context.Queue()
+        process = self._context.Process(
+            target=_worker_main,
+            args=(worker_id, task_queue, self._result_queue,
+                  self._worker_fn),
+            daemon=True)
+        process.start()
+        self._slots[slot_no].worker = _Worker(process=process,
+                                              tasks=task_queue)
+        self._slot_of[worker_id] = slot_no
+        if self._started >= len(self._slots):
+            self.worker_restarts += 1
+        self._started += 1
+
+    def _retire(self, slot_no: int) -> None:
+        slot = self._slots[slot_no]
+        worker = slot.worker
+        if worker is None:
+            return
+        slot.worker = None
+        worker.tasks.close()
+        worker.tasks.cancel_join_thread()
+
+    def _next_task(self, slot: _Slot) -> tuple | None:
+        """Pop the slot's next runnable task (pinned before shared)."""
+        for backlog in (slot.backlog, self._shared):
+            while backlog:
+                task = backlog.popleft()
+                if task[0] not in self._resolved:
+                    return task
+        return None
+
+    def _pump(self) -> None:
+        """Hand queued tasks to every idle slot."""
+        for slot_no, slot in enumerate(self._slots):
+            if slot.inflight is not None:
+                continue
+            task = self._next_task(slot)
+            if task is None:
+                continue
+            if slot.worker is None or not slot.worker.process.is_alive():
+                self._retire(slot_no)
+                self._spawn(slot_no)
+            slot.worker.tasks.put(task)
+            slot.inflight = (task, time.monotonic())
+
+    def _health_check(self) -> list[tuple[int, list[dict], float]]:
+        """Diagnose the in-flight set: crashes requeue, hangs die."""
+        results = []
+        now = time.monotonic()
+        for slot_no, slot in enumerate(self._slots):
+            if slot.inflight is None:
+                continue
+            (index, item, attempt), started = slot.inflight
+            worker = slot.worker
+            alive = worker is not None and worker.process.is_alive()
+            if alive and (self._timeout is None
+                          or now - started <= self._timeout):
+                continue
+            slot.inflight = None
+            if not alive:
+                exitcode = worker.process.exitcode if worker else None
+                self._retire(slot_no)
+                if attempt < self._retries:
+                    # Retry on the same slot, ahead of its backlog, so
+                    # shard ordering survives the crash.
+                    slot.backlog.appendleft((index, item, attempt + 1))
+                elif index not in self._resolved:
+                    self._resolved.add(index)
+                    self._outstanding -= 1
+                    error = AnalysisError(
+                        "crash",
+                        f"worker died (exit code {exitcode}); "
+                        f"gave up after {attempt + 1} attempt(s)")
+                    results.append((index,
+                                    [error_payload(item, error,
+                                                   attempts=attempt + 1)],
+                                    now - started))
+            else:       # alive but past the wall-clock budget
+                worker.process.kill()
+                worker.process.join()
+                self._retire(slot_no)
+                if index not in self._resolved:
+                    self._resolved.add(index)
+                    self._outstanding -= 1
+                    error = AnalysisError(
+                        "timeout",
+                        f"analysis exceeded {self._timeout:g}s "
+                        f"wall-clock timeout")
+                    results.append((index, [error_payload(item, error)],
+                                    now - started))
+            self._spawn(slot_no)
+        self._pump()
+        return results
+
+
 class SupervisedPool:
-    """Fan items over worker processes; survive crashes and hangs."""
+    """Fan a fixed task list over worker processes; survive crashes.
+
+    The original batch-mode interface: one :meth:`run` per pool,
+    total work known up front, results yielded as a generator.  Each
+    run is a :class:`PoolSession` underneath.
+    """
 
     def __init__(self, workers: int,
                  worker_fn: Callable[[int, object, int], list[dict]],
@@ -115,7 +388,6 @@ class SupervisedPool:
         self._timeout = timeout
         self._retries = retries
         self._poll = poll
-        self._context = multiprocessing.get_context()
 
     def run(self, tasks: list[tuple[int, object]]
             ) -> Iterator[tuple[int, list[dict], float]]:
@@ -129,130 +401,16 @@ class SupervisedPool:
         total = len(tasks)
         if total == 0:
             return
-        pending = deque((index, item, 0) for index, item in tasks)
-        result_queue = self._context.Queue()
-        workers: dict[int, _Worker] = {}
-        inflight: dict[int, tuple[tuple, float]] = {}
-        resolved: set[int] = set()
+        session = PoolSession(min(self._workers, total), self._worker_fn,
+                              timeout=self._timeout,
+                              retries=self._retries, poll=self._poll)
         done = 0
-        next_id = 0
-
-        def spawn() -> int:
-            nonlocal next_id
-            worker_id = next_id
-            next_id += 1
-            task_queue = self._context.Queue()
-            process = self._context.Process(
-                target=_worker_main,
-                args=(worker_id, task_queue, result_queue, self._worker_fn),
-                daemon=True)
-            process.start()
-            workers[worker_id] = _Worker(process=process, tasks=task_queue)
-            return worker_id
-
-        def dispatch(worker_id: int) -> None:
-            # Skip queued duplicates of indices a late result resolved.
-            while pending and pending[0][0] in resolved:
-                pending.popleft()
-            if not pending:
-                return
-            if not workers[worker_id].process.is_alive():
-                self._retire_worker(workers, worker_id)
-                worker_id = spawn()
-            task = pending.popleft()
-            workers[worker_id].tasks.put(task)
-            inflight[worker_id] = (task, time.monotonic())
-
         try:
-            for _ in range(min(self._workers, total)):
-                dispatch(spawn())
+            for index, item in tasks:
+                session.submit(index, item)
             while done < total:
-                try:
-                    worker_id, index, payloads, elapsed = \
-                        result_queue.get(timeout=self._poll)
-                except queue.Empty:
-                    # No result this tick: diagnose the in-flight set.
-                    now = time.monotonic()
-                    for worker_id in list(inflight):
-                        (index, item, attempt), started = inflight[worker_id]
-                        worker = workers.get(worker_id)
-                        alive = worker is not None \
-                            and worker.process.is_alive()
-                        if alive and (self._timeout is None
-                                      or now - started <= self._timeout):
-                            continue
-                        del inflight[worker_id]
-                        if not alive:
-                            exitcode = worker.process.exitcode \
-                                if worker else None
-                            self._retire_worker(workers, worker_id)
-                            if attempt < self._retries:
-                                pending.appendleft((index, item,
-                                                    attempt + 1))
-                            elif index not in resolved:
-                                resolved.add(index)
-                                done += 1
-                                error = AnalysisError(
-                                    "crash",
-                                    f"worker died (exit code {exitcode}); "
-                                    f"gave up after {attempt + 1} "
-                                    f"attempt(s)")
-                                yield (index,
-                                       [error_payload(item, error,
-                                                      attempts=attempt + 1)],
-                                       now - started)
-                        else:  # alive but past the wall-clock budget
-                            worker.process.kill()
-                            worker.process.join()
-                            self._retire_worker(workers, worker_id)
-                            if index not in resolved:
-                                resolved.add(index)
-                                done += 1
-                                error = AnalysisError(
-                                    "timeout",
-                                    f"analysis exceeded {self._timeout:g}s "
-                                    f"wall-clock timeout")
-                                yield (index, [error_payload(item, error)],
-                                       now - started)
-                        dispatch(spawn())
-                    continue
-                inflight.pop(worker_id, None)
-                if index in resolved:
-                    # Late duplicate of a crash-diagnosed item; the
-                    # worker is idle again either way.
-                    dispatch(worker_id)
-                    continue
-                resolved.add(index)
-                done += 1
-                yield index, payloads, elapsed
-                dispatch(worker_id)
+                for result in session.poll():
+                    done += 1
+                    yield result
         finally:
-            self._shutdown(workers, result_queue, graceful=done >= total)
-
-    @staticmethod
-    def _retire_worker(workers: dict[int, _Worker],
-                       worker_id: int) -> None:
-        worker = workers.pop(worker_id, None)
-        if worker is None:
-            return
-        worker.tasks.close()
-        worker.tasks.cancel_join_thread()
-
-    def _shutdown(self, workers: dict[int, _Worker], result_queue,
-                  graceful: bool) -> None:
-        """Tear the pool down without ever hanging the parent."""
-        for worker in workers.values():
-            if graceful and worker.process.is_alive():
-                try:
-                    worker.tasks.put(None)
-                except (OSError, ValueError):
-                    pass
-        for worker in workers.values():
-            worker.process.join(timeout=1.0 if graceful else 0.1)
-            if worker.process.is_alive():
-                worker.process.kill()
-                worker.process.join(timeout=5.0)
-            worker.tasks.close()
-            worker.tasks.cancel_join_thread()
-        result_queue.close()
-        result_queue.cancel_join_thread()
+            session.close(graceful=done >= total)

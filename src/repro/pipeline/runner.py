@@ -190,6 +190,7 @@ def analyze_item_stream(item: BatchItem) -> list[dict]:
         IngestStats,
         analyze_stream,
         build_flow_report,
+        flow_payload,
     )
     from repro.stream.flowtable import demux_records
 
@@ -218,12 +219,8 @@ def analyze_item_stream(item: BatchItem) -> list[dict]:
     for flow_report in flow_reports:
         name = item.name if len(flow_reports) == 1 \
             else f"{item.name}#{flow_report.name}"
-        payload = {
-            "trace": name,
-            "implementation": item.implementation,
-            "records": len(flow_report.flow.records),
-        }
-        payload.update(flow_report.to_dict())
+        payload = flow_payload(flow_report, name,
+                               implementation=item.implementation)
         payload["ingest"] = ingest
         payloads.append(payload)
     return payloads

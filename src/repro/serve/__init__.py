@@ -1,0 +1,60 @@
+"""The always-on analysis service (``tcpanaly serve``).
+
+Batch mode answers "what did this corpus contain"; serve mode answers
+"what is the network doing right now".  The daemon tails growing pcap
+files (plus a watched spool directory), demuxes them live through the
+streaming layer, fans retired flows out to supervised analysis
+workers, and publishes results as they land — an append-only JSONL
+sink per source, rolling traffic aggregates, and a local HTTP
+stats/health endpoint.
+
+Components, one module each:
+
+- :class:`CaptureTailer` — incremental reader + flow table for one
+  growing capture;
+- :class:`SpoolWatcher` — drop-in capture discovery;
+- :class:`FlowScheduler` / :class:`FlowWorkItem` — journal-first
+  dispatch of retired flows over a
+  :class:`~repro.pipeline.PoolSession`, sharded by connection key;
+- :class:`ServeMetrics` — counters, gauges, and sliding-window
+  aggregates behind ``/stats``;
+- :class:`JsonlSink` — duplicate-proof per-source JSONL output;
+- :class:`ServeDaemon` / :class:`ServeConfig` — the loop that ties
+  them together, with backpressure and graceful drain.
+
+The load-bearing invariant: for any capture, the flows the daemon
+reports are byte-identical to what ``tcpanaly batch --stream`` would
+report over the finished file (modulo the capture-wide ``ingest``
+block, which a still-growing capture cannot have) — including across
+a kill-and-restart, courtesy of the checkpoint journal and the
+sink's cross-restart dedupe.
+"""
+
+from repro.serve.daemon import ServeConfig, ServeDaemon
+from repro.serve.metrics import (
+    RollingWindow,
+    ServeMetrics,
+    flow_retransmission_rate,
+)
+from repro.serve.scheduler import (
+    FlowScheduler,
+    FlowWorkItem,
+    analyze_flow_item,
+)
+from repro.serve.sink import JsonlSink
+from repro.serve.tailer import CaptureTailer
+from repro.serve.watcher import SpoolWatcher
+
+__all__ = [
+    "CaptureTailer",
+    "FlowScheduler",
+    "FlowWorkItem",
+    "JsonlSink",
+    "RollingWindow",
+    "ServeConfig",
+    "ServeDaemon",
+    "ServeMetrics",
+    "SpoolWatcher",
+    "analyze_flow_item",
+    "flow_retransmission_rate",
+]

@@ -1,0 +1,246 @@
+"""The serve daemon loop: tail → demux → dispatch → publish, forever.
+
+One single-threaded loop ties the serve components together (workers
+are processes; the only extra thread is the HTTP endpoint's):
+
+1. scan the spool directory for drop-in captures (new tailers);
+2. unless backpressure has paused tailing, poll every tailer —
+   newly landed records flow through the incremental reader and the
+   flow table, and retired flows are submitted to the scheduler;
+3. recompute backpressure: queue depth at or above the high-water
+   mark pauses tailing (bytes stay safely on disk; ``ingest_lag``
+   grows), at or below the low-water mark resumes it;
+4. poll the scheduler for finished flows — each already journaled —
+   and append them to the JSONL sink (which drops duplicates across
+   restarts);
+5. refresh the metric gauges the ``/stats`` endpoint snapshots.
+
+Shutdown has two distinct shapes, and the difference is load-bearing:
+
+- **Signal drain** (SIGTERM/SIGINT via :meth:`ServeDaemon.request_stop`):
+  stop tailing immediately, finish every flow already retired and
+  submitted, journal and sink the results, exit 0.  Flows still *open*
+  in a flow table are deliberately NOT analyzed — they are incomplete,
+  and a partial-flow result under a name the finished flow will later
+  claim would poison the resume.  A restarted daemon re-tails from
+  offset zero, the journal replays completed flows by name+digest,
+  and the sink's dedupe guarantees zero duplicate lines.
+- **Idle exit** (``exit_when_idle``): after ``quiet_seconds`` with no
+  new bytes, no queued work, and no lag, the capture is declared
+  complete — tailers finalize with end-of-capture semantics (trailing
+  partial record, table drain), exactly as ``batch --stream`` treats
+  a finished file.  This is the mode benchmarks and CI use to compare
+  live output against batch output.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.errors import classify_exception
+from repro.harness.faults import FaultPlan
+from repro.pipeline.journal import BatchJournal
+from repro.pipeline.runner import true_implementation
+from repro.serve.metrics import ServeMetrics, flow_retransmission_rate
+from repro.serve.scheduler import FlowScheduler, FlowWorkItem
+from repro.serve.sink import JsonlSink
+from repro.serve.tailer import DEFAULT_RECORDS_PER_POLL, CaptureTailer
+from repro.serve.watcher import SpoolWatcher
+from repro.stream import Flow
+
+
+@dataclass
+class ServeConfig:
+    """Everything ``tcpanaly serve`` configures."""
+
+    out_dir: Path
+    captures: list[Path] = field(default_factory=list)
+    spool: Path | None = None
+    workers: int = 2
+    timeout: float | None = None
+    retries: int = 2
+    http_port: int | None = None
+    #: Queued-flow counts that pause/resume tailing.
+    high_water: int = 64
+    low_water: int = 8
+    #: Seconds each loop tick blocks waiting for worker results.
+    poll_interval: float = 0.2
+    records_per_poll: int = DEFAULT_RECORDS_PER_POLL
+    #: Exit 0 once every source is quiet — the batch-comparison mode.
+    exit_when_idle: bool = False
+    quiet_seconds: float = 2.0
+    #: Rolling-aggregate window for /stats.
+    window: float = 300.0
+    #: Test/bench hook: fault injection in the analysis workers.
+    fault_plan: FaultPlan | None = None
+    #: Extra FlowTable options (idle_timeout, max_flows, ...).  Leave
+    #: empty for strict live-vs-batch flow equivalence.
+    table_options: dict = field(default_factory=dict)
+
+
+class ServeDaemon:
+    """The always-on analysis service.  One instance, one ``run()``."""
+
+    def __init__(self, config: ServeConfig):
+        self.config = config
+        self.metrics = ServeMetrics(window=config.window)
+        self.ready = False
+        self.paused = False
+        self._stop = threading.Event()
+        self._tailers: list[CaptureTailer] = []
+        self._sources: set[str] = set()
+        self._scheduler: FlowScheduler | None = None
+        self._sink: JsonlSink | None = None
+
+    def request_stop(self) -> None:
+        """Begin a graceful drain; safe to call from a signal handler."""
+        self._stop.set()
+
+    # -- source management -------------------------------------------
+
+    def _add_source(self, path: Path) -> None:
+        source = path.name
+        suffix = 1
+        while source in self._sources:    # same file name, second dir
+            suffix += 1
+            source = f"{path.name}~{suffix}"
+        self._sources.add(source)
+        self._tailers.append(CaptureTailer(
+            path, source=source,
+            records_per_poll=self.config.records_per_poll,
+            on_retire=self.metrics.observe_retirement,
+            **self.config.table_options))
+
+    def _quarantine_source(self, tailer: CaptureTailer) -> None:
+        """A source that is not a pcap: one classified sink line."""
+        self.metrics.sources_failed += 1
+        payload = {"trace": tailer.source, "implementation": None}
+        payload.update(classify_exception(tailer.failed).to_fields())
+        self._route([(tailer.source, [payload])])
+
+    # -- work routing ------------------------------------------------
+
+    def _submit(self, source: str, flows: list[Flow]) -> None:
+        implementation = true_implementation(source)
+        for flow in flows:
+            self.metrics.flows_submitted += 1
+            self.metrics.observe_retransmission_rate(
+                flow_retransmission_rate(flow.records))
+            replayed = self._scheduler.submit(
+                FlowWorkItem(source, flow, implementation=implementation))
+            if replayed:
+                self.metrics.journal_skips += len(replayed)
+                self._route(replayed)
+
+    def _route(self, results: list[tuple[str, list[dict]]]) -> None:
+        for name, payloads in results:
+            source = name.split("#", 1)[0]
+            self.metrics.sink_lines += self._sink.write(source, payloads)
+            for payload in payloads:
+                self.metrics.observe_payload(payload)
+
+    # -- the loop ----------------------------------------------------
+
+    def run(self) -> int:
+        config = self.config
+        out = Path(config.out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        journal = BatchJournal(out / "journal.jsonl", stream=True,
+                               resume=True)
+        self._sink = JsonlSink(out / "results")
+        self._scheduler = FlowScheduler(
+            config.workers, journal=journal, timeout=config.timeout,
+            retries=config.retries, fault_plan=config.fault_plan)
+        watcher = SpoolWatcher(config.spool) \
+            if config.spool is not None else None
+        for path in config.captures:
+            self._add_source(Path(path))
+        httpd = None
+        if config.http_port is not None:
+            from repro.serve.httpd import StatsServer
+            httpd = StatsServer(self.metrics.to_dict, lambda: self.ready,
+                                port=config.http_port)
+            httpd.start()
+            # Ephemeral ports (--http 0) are useless unless announced.
+            (out / "http.port").write_text(f"{httpd.port}\n")
+        try:
+            self._loop(watcher)
+            # Graceful end, either shape: every already-retired flow
+            # is finished, journaled, and sunk before we return.
+            if not self._stop.is_set():
+                # Idle exit: sources are complete, apply EOF semantics.
+                for tailer in self._tailers:
+                    self._submit(tailer.source, tailer.finalize())
+            self._route(self._scheduler.drain())
+            self._refresh_gauges()
+            return 0
+        finally:
+            self.ready = False
+            self._scheduler.close(graceful=True)
+            journal.close()
+            self._sink.close()
+            if httpd is not None:
+                httpd.stop()
+
+    def _loop(self, watcher: SpoolWatcher | None) -> None:
+        config = self.config
+        last_activity = time.monotonic()
+        while not self._stop.is_set():
+            activity = 0
+            if watcher is not None:
+                for path in watcher.scan():
+                    self._add_source(path)
+                    activity += 1
+            if not self.paused:
+                for tailer in list(self._tailers):
+                    if tailer.failed is not None:
+                        continue
+                    consumed_before = tailer.records_consumed
+                    flows = tailer.poll()
+                    activity += tailer.records_consumed - consumed_before
+                    self.metrics.records_ingested += \
+                        tailer.records_consumed - consumed_before
+                    if flows:
+                        self._submit(tailer.source, flows)
+                    if tailer.failed is not None:
+                        self._quarantine_source(tailer)
+            depth = self._scheduler.queue_depth
+            if not self.paused and depth >= config.high_water:
+                self.paused = True
+                self.metrics.pause_events += 1
+            elif self.paused and depth <= config.low_water:
+                self.paused = False
+            results = self._scheduler.poll(timeout=config.poll_interval)
+            if results:
+                activity += len(results)
+                self._route(results)
+            self._refresh_gauges()
+            self.ready = True
+            now = time.monotonic()
+            busy = activity > 0 or self._scheduler.outstanding > 0 \
+                or any(t.ingest_lag > 0 for t in self._tailers
+                       if t.failed is None and not t.finished)
+            if busy:
+                last_activity = now
+            elif config.exit_when_idle \
+                    and now - last_activity >= config.quiet_seconds:
+                return
+            if not busy and not results:
+                # Nothing in flight: sleep on the stop event so a
+                # signal wakes the loop instead of waiting out a tick.
+                self._stop.wait(config.poll_interval)
+
+    def _refresh_gauges(self) -> None:
+        metrics = self.metrics
+        active = [t for t in self._tailers
+                  if t.failed is None and not t.finished]
+        metrics.ingest_lag_bytes = sum(t.ingest_lag for t in active)
+        metrics.flow_table_occupancy = sum(t.live_flows for t in active)
+        metrics.queue_depth = self._scheduler.queue_depth
+        metrics.inflight = self._scheduler.inflight
+        metrics.worker_restarts = self._scheduler.worker_restarts
+        metrics.sources = len(self._tailers)
+        metrics.paused = self.paused

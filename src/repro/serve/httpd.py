@@ -1,0 +1,82 @@
+"""The daemon's local stats/health endpoint.
+
+Three paths, standard-library HTTP only, loopback only:
+
+- ``/healthz`` — liveness: 200 whenever the process can answer.
+- ``/readyz`` — readiness: 200 once the daemon loop has completed a
+  full tick (sources opened, workers up), 503 before and during
+  drain.
+- ``/stats``  — the :class:`~repro.serve.metrics.ServeMetrics`
+  snapshot as JSON.
+
+The server runs ``serve_forever`` on a daemon thread; requests only
+read snapshots (a dict built under the GIL), so no locking with the
+daemon loop is needed.  Binding port 0 picks an ephemeral port —
+``port`` reports the real one, which the daemon writes to a
+``http.port`` file for scripts to discover.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+
+class StatsServer:
+    """Loopback HTTP server for health probes and metric snapshots."""
+
+    def __init__(self, stats_fn: Callable[[], dict],
+                 ready_fn: Callable[[], bool],
+                 port: int = 0, host: str = "127.0.0.1"):
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:
+                path = self.path.split("?", 1)[0]
+                if path == "/healthz":
+                    self._reply(200, b"ok\n", "text/plain")
+                elif path == "/readyz":
+                    if server.ready_fn():
+                        self._reply(200, b"ready\n", "text/plain")
+                    else:
+                        self._reply(503, b"starting\n", "text/plain")
+                elif path == "/stats":
+                    body = json.dumps(server.stats_fn(),
+                                      sort_keys=True).encode()
+                    self._reply(200, body + b"\n", "application/json")
+                else:
+                    self._reply(404, b"not found\n", "text/plain")
+
+            def _reply(self, status: int, body: bytes,
+                       content_type: str) -> None:
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args) -> None:
+                pass    # probes every few seconds; stay quiet
+
+        self.stats_fn = stats_fn
+        self.ready_fn = ready_fn
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    def start(self) -> None:
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        name="tcpanaly-serve-http",
+                                        daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)

@@ -1,0 +1,193 @@
+"""Serve-mode observability: counters, gauges, rolling aggregates.
+
+Batch mode summarizes after the fact; a daemon has no "after", so its
+numbers must be readable while it runs.  :class:`ServeMetrics` is the
+single place every serve component reports into, and its
+:meth:`~ServeMetrics.to_dict` snapshot is exactly what the HTTP
+``/stats`` endpoint returns.
+
+Aggregates that answer "what is the traffic doing *lately*" — which
+implementations are being identified, what fraction of each flow's
+data packets were retransmitted (the aggregate-rate view of
+arXiv 1112.2292), which quarantine kinds are firing — are kept over a
+sliding time window by :class:`RollingWindow`, so a daemon that has
+been up for a week reports this hour's mix, not the all-time average.
+
+The clock is injectable for tests; nothing here touches the payloads
+themselves, so metrics can never perturb the live-vs-batch
+equivalence.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter, deque
+from typing import Callable
+
+#: Default sliding-window span for rolling aggregates (seconds).
+DEFAULT_WINDOW = 300.0
+
+
+class RollingWindow:
+    """Timestamped observations over a sliding window.
+
+    Observations older than *span* seconds fall off as new ones
+    arrive (and on read), so both memory and the reported aggregate
+    are bounded by recent activity.
+    """
+
+    def __init__(self, span: float = DEFAULT_WINDOW,
+                 clock: Callable[[], float] = time.monotonic):
+        if span <= 0:
+            raise ValueError(f"span must be positive, not {span}")
+        self.span = span
+        self._clock = clock
+        self._entries: deque[tuple[float, object]] = deque()
+
+    def observe(self, value) -> None:
+        now = self._clock()
+        self._entries.append((now, value))
+        self._prune(now)
+
+    def _prune(self, now: float) -> None:
+        horizon = now - self.span
+        entries = self._entries
+        while entries and entries[0][0] < horizon:
+            entries.popleft()
+
+    def values(self) -> list:
+        self._prune(self._clock())
+        return [value for _stamp, value in self._entries]
+
+    def __len__(self) -> int:
+        self._prune(self._clock())
+        return len(self._entries)
+
+    def counts(self) -> dict:
+        """Tally of discrete observations (labels, kinds) in window."""
+        return dict(Counter(self.values()))
+
+    def mean(self) -> float | None:
+        """Mean of numeric observations in window; None when empty."""
+        values = self.values()
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+
+class ServeMetrics:
+    """Every number the serve daemon exposes, in one place.
+
+    Monotone counters accumulate for the daemon's lifetime; gauges
+    are overwritten each loop tick by the daemon; rolling windows
+    hold the recent-traffic aggregates.
+    """
+
+    def __init__(self, window: float = DEFAULT_WINDOW,
+                 clock: Callable[[], float] = time.monotonic):
+        self._clock = clock
+        self.started_at = clock()
+        # Counters (lifetime).
+        self.records_ingested = 0
+        self.flows_submitted = 0
+        self.flows_completed = 0
+        self.flows_quarantined = 0
+        self.journal_skips = 0       # completed in a prior run, replayed
+        self.sink_lines = 0
+        self.sources_failed = 0      # captures that were not pcaps at all
+        self.pause_events = 0        # backpressure trips
+        # Gauges (overwritten per tick).
+        self.ingest_lag_bytes = 0
+        self.flow_table_occupancy = 0
+        self.queue_depth = 0
+        self.inflight = 0
+        self.worker_restarts = 0
+        self.sources = 0
+        self.paused = False
+        # Rolling aggregates.
+        self.identifications = RollingWindow(window, clock)
+        self.quarantines = RollingWindow(window, clock)
+        self.retransmission_rates = RollingWindow(window, clock)
+        self.retirements = RollingWindow(window, clock)
+
+    def observe_payload(self, payload: dict) -> None:
+        """Account one finished per-flow payload."""
+        self.flows_completed += 1
+        if "error_kind" in payload:
+            self.flows_quarantined += 1
+            self.quarantines.observe(payload["error_kind"])
+            return
+        identification = payload.get("identification") or {}
+        best = identification.get("best")
+        if identification.get("best_category") != "close":
+            best = None
+        self.identifications.observe(best or "(no close fit)")
+
+    def observe_retransmission_rate(self, rate: float) -> None:
+        self.retransmission_rates.observe(rate)
+
+    def observe_retirement(self, flow) -> None:
+        """FlowTable ``on_retire`` hook: tally close reasons."""
+        self.retirements.observe(flow.close_reason)
+
+    def to_dict(self) -> dict:
+        """The ``/stats`` snapshot (JSON-safe, stable keys)."""
+        return {
+            "uptime_seconds": round(self._clock() - self.started_at, 3),
+            "counters": {
+                "records_ingested": self.records_ingested,
+                "flows_submitted": self.flows_submitted,
+                "flows_completed": self.flows_completed,
+                "flows_quarantined": self.flows_quarantined,
+                "journal_skips": self.journal_skips,
+                "sink_lines": self.sink_lines,
+                "sources_failed": self.sources_failed,
+                "pause_events": self.pause_events,
+            },
+            "gauges": {
+                "ingest_lag_bytes": self.ingest_lag_bytes,
+                "flow_table_occupancy": self.flow_table_occupancy,
+                "queue_depth": self.queue_depth,
+                "inflight": self.inflight,
+                "worker_restarts": self.worker_restarts,
+                "sources": self.sources,
+                "paused": self.paused,
+            },
+            "rolling": {
+                "window_seconds": self.identifications.span,
+                "identifications": self.identifications.counts(),
+                "quarantine_kinds": self.quarantines.counts(),
+                "close_reasons": self.retirements.counts(),
+                "retransmission_rate_mean":
+                    self.retransmission_rates.mean(),
+                "retransmission_samples":
+                    len(self.retransmission_rates),
+            },
+        }
+
+
+def flow_retransmission_rate(records) -> float:
+    """Fraction of a flow's data packets that re-sent a seen sequence.
+
+    A cheap trace-level proxy for the retransmission-rate aggregate:
+    a data packet whose starting sequence number was already carried
+    by an earlier data packet of the same direction counts as a
+    retransmission.  Good enough for a rolling traffic aggregate; the
+    per-flow *analysis* does the real replay-based accounting.
+    """
+    seen: dict = {}
+    data_packets = 0
+    retransmissions = 0
+    for record in records:
+        if record.payload <= 0:
+            continue
+        data_packets += 1
+        key = (record.src, record.dst)
+        carried = seen.setdefault(key, set())
+        if record.seq in carried:
+            retransmissions += 1
+        else:
+            carried.add(record.seq)
+    if data_packets == 0:
+        return 0.0
+    return retransmissions / data_packets

@@ -1,0 +1,168 @@
+"""Dispatching retired flows to analysis workers, durably.
+
+The scheduler is the seam between live ingest and the PR-5 resilience
+machinery: each completed flow becomes a :class:`FlowWorkItem` and
+goes to a :class:`~repro.pipeline.PoolSession` worker, sharded by a
+stable hash of the connection key so all flows of one connection
+(a reused 4-tuple, say) analyze in order on one worker.
+
+Durability is journal-first: a flow's payloads are recorded in the
+:class:`~repro.pipeline.BatchJournal` (fsynced) before the caller
+ever sees them, and a flow whose name+digest is already journaled is
+replayed without analysis — which is what makes a daemon restart
+resume instead of recompute.  Flow digests come from
+``trace_digest``, so a capture whose bytes changed under the same
+name never reuses stale results.
+
+Analysis failures ride the PR-5/6 taxonomy unchanged: a worker crash
+retries then quarantines as ``crash``, a hang is killed and
+quarantined as ``timeout``, and an in-worker analysis error comes
+back as a classified error payload.  Transient kinds are journaled
+like everything else *except* never — the scheduler skips journaling
+payloads whose kind is transient, so a restart retries them.
+"""
+
+from __future__ import annotations
+
+import functools
+import zlib
+
+from repro.core.errors import classify_exception
+from repro.harness.faults import FaultPlan
+from repro.pipeline.cache import trace_digest
+from repro.pipeline.journal import BatchJournal
+from repro.pipeline.resilience import PoolSession, error_payload
+from repro.stream import Flow, build_flow_report, flow_payload
+
+#: Error kinds that may be transient: never journaled, so a restarted
+#: daemon re-analyzes them (mirrors the batch cache policy).
+TRANSIENT_KINDS = frozenset({"io", "timeout", "crash"})
+
+
+class FlowWorkItem:
+    """One retired flow, packaged for a worker process.
+
+    Carries the immutable flow (records and lifecycle facts pickle
+    cleanly) plus its source capture's name.  ``name`` and
+    ``implementation`` follow the batch-item protocol so
+    ``error_payload`` and :class:`~repro.harness.faults.FaultPlan`
+    (which matches items by name) compose unchanged.
+    """
+
+    def __init__(self, source: str, flow: Flow,
+                 implementation: str | None = None):
+        self.source = source
+        self.flow = flow
+        self.implementation = implementation
+
+    @property
+    def name(self) -> str:
+        return f"{self.source}#flow-{self.flow.index:04d}"
+
+    def content_digest(self) -> str:
+        return trace_digest(self.flow.to_trace())
+
+    def shard(self) -> int:
+        """Stable across processes and runs (``hash()`` is neither)."""
+        return zlib.crc32(f"{self.source}|{self.flow.key}".encode())
+
+
+def analyze_flow_item(index: int, item: FlowWorkItem, attempt: int,
+                      fault_plan: FaultPlan | None = None) -> list[dict]:
+    """Worker-side analysis of one flow; never raises.
+
+    The payload is built by the same :func:`flow_payload` the batch
+    runner uses — identical keys and values for an identical flow —
+    except that no capture-wide ``ingest`` block is attached (the
+    capture is still growing when a live flow completes).
+    """
+    try:
+        if fault_plan is not None:
+            item = fault_plan.apply(item, index, attempt)
+        report = build_flow_report(item.flow, identify=True,
+                                   tolerant=True)
+        return [flow_payload(report, item.name,
+                             implementation=item.implementation)]
+    except Exception as error:
+        return [error_payload(item, classify_exception(error))]
+
+
+class FlowScheduler:
+    """Submit flows, poll journaled results.
+
+    ``submit`` returns any immediately available results (a journal
+    replay); ``poll`` returns results as workers finish them, each
+    already recorded in the journal.  Results are
+    ``(name, payloads)`` pairs.
+    """
+
+    def __init__(self, workers: int,
+                 journal: BatchJournal | None = None,
+                 timeout: float | None = None,
+                 retries: int = 2,
+                 fault_plan: FaultPlan | None = None):
+        worker_fn = functools.partial(analyze_flow_item,
+                                      fault_plan=fault_plan)
+        self.session = PoolSession(workers, worker_fn,
+                                   timeout=timeout, retries=retries)
+        self.journal = journal
+        self._next_index = 0
+        self._submitted: dict[int, tuple[FlowWorkItem, str]] = {}
+        self.replayed = 0
+
+    @property
+    def outstanding(self) -> int:
+        return self.session.outstanding
+
+    @property
+    def queue_depth(self) -> int:
+        return self.session.queue_depth
+
+    @property
+    def inflight(self) -> int:
+        return self.session.inflight
+
+    @property
+    def worker_restarts(self) -> int:
+        return self.session.worker_restarts
+
+    def submit(self, item: FlowWorkItem
+               ) -> list[tuple[str, list[dict]]]:
+        """Queue one flow; journaled flows come straight back."""
+        digest = item.content_digest()
+        if self.journal is not None:
+            payloads = self.journal.lookup(item.name, digest)
+            if payloads is not None:
+                self.replayed += 1
+                return [(item.name, payloads)]
+        index = self._next_index
+        self._next_index += 1
+        self._submitted[index] = (item, digest)
+        self.session.submit(index, item, shard=item.shard())
+        return []
+
+    def poll(self, timeout: float | None = None
+             ) -> list[tuple[str, list[dict]]]:
+        """Collect finished flows; journal each before returning it."""
+        results = []
+        for index, payloads, _elapsed in self.session.poll(timeout):
+            item, digest = self._submitted.pop(index)
+            if self.journal is not None and _journalable(payloads):
+                self.journal.record(item.name, digest, payloads)
+            results.append((item.name, payloads))
+        return results
+
+    def drain(self) -> list[tuple[str, list[dict]]]:
+        """Finish everything in flight/queued (graceful shutdown)."""
+        results = []
+        while self.session.outstanding > 0:
+            results.extend(self.poll())
+        return results
+
+    def close(self, graceful: bool = True) -> None:
+        self.session.close(graceful=graceful)
+
+
+def _journalable(payloads: list[dict]) -> bool:
+    return all(payload.get("error_kind") not in TRANSIENT_KINDS
+               for payload in payloads)

@@ -1,0 +1,76 @@
+"""The append-only JSONL result sink, duplicate-proof across restarts.
+
+One ``{source}.jsonl`` file per capture source, one key-sorted JSON
+object per flow — the same line format ``write_jsonl`` produces for a
+batch run, so downstream tooling reads either interchangeably.
+
+Restart safety is the whole design: the daemon journals a flow before
+sinking it, so a crash between the two can leave a journaled flow
+with no sink line (repaired here: the journal replay re-offers it and
+the sink accepts it) or — never — a sink line with no journal entry.
+On startup the sink loads the trace names already present in its
+files and silently drops re-offers of those, which is what makes a
+kill-and-resume cycle produce *zero* duplicate lines.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO
+
+
+class JsonlSink:
+    """Per-source append-only JSONL files with cross-restart dedupe."""
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._handles: dict[str, IO[str]] = {}
+        self._seen: set[str] = set()
+        self._load_existing()
+
+    def _load_existing(self) -> None:
+        """Recover the already-written trace names (resume dedupe)."""
+        for path in sorted(self.directory.glob("*.jsonl")):
+            try:
+                text = path.read_text()
+            except OSError:
+                continue
+            for line in text.splitlines():
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError:
+                    continue    # torn trailing write from a hard kill
+                name = payload.get("trace")
+                if isinstance(name, str):
+                    self._seen.add(name)
+
+    def path_for(self, source: str) -> Path:
+        return self.directory / f"{source}.jsonl"
+
+    def __contains__(self, trace_name: str) -> bool:
+        return trace_name in self._seen
+
+    def write(self, source: str, payloads: list[dict]) -> int:
+        """Append payloads not yet present; return lines written."""
+        written = 0
+        for payload in payloads:
+            name = payload.get("trace")
+            if isinstance(name, str):
+                if name in self._seen:
+                    continue
+                self._seen.add(name)
+            handle = self._handles.get(source)
+            if handle is None:
+                handle = open(self.path_for(source), "a")
+                self._handles[source] = handle
+            handle.write(json.dumps(payload, sort_keys=True) + "\n")
+            handle.flush()
+            written += 1
+        return written
+
+    def close(self) -> None:
+        for handle in self._handles.values():
+            handle.close()
+        self._handles.clear()

@@ -1,0 +1,112 @@
+"""Tailing one growing capture into completed flows.
+
+A :class:`CaptureTailer` owns the per-source ingest state the daemon
+loop drives: an :class:`~repro.stream.IncrementalPcapReader` (which
+never mistakes a half-written trailing record for damage) feeding a
+:class:`~repro.stream.FlowTable` (which retires flows by the stream
+clock exactly as batch ingest would).  Each :meth:`poll` consumes
+whatever complete records have landed since the last one and returns
+the flows their arrival completed; :meth:`finalize` declares the
+capture finished and drains everything still open.
+
+Because the tailer replays the same record sequence through the same
+flow table the batch path uses, flow indices, membership, and close
+reasons are deterministic — the property that makes live output
+comparable to (and resumable against) a one-shot ``batch --stream``
+run over the finished file.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.stream import Flow, FlowTable, IncrementalPcapReader, IngestStats
+
+#: Records consumed from one source per poll; bounds the time a single
+#: busy capture can hold the daemon loop (and how far tailing can
+#: overshoot a backpressure pause).
+DEFAULT_RECORDS_PER_POLL = 4096
+
+
+class CaptureTailer:
+    """Incremental pcap → completed-flow pump for one source file."""
+
+    def __init__(self, path: str | Path, source: str | None = None,
+                 stats: IngestStats | None = None,
+                 records_per_poll: int = DEFAULT_RECORDS_PER_POLL,
+                 **table_options):
+        self.path = Path(path)
+        #: The name flows of this capture are reported under
+        #: (``{source}#flow-NNNN``), conventionally the file name —
+        #: the same name ``batch --stream`` would use for this file.
+        self.source = source if source is not None else self.path.name
+        self.stats = stats if stats is not None else IngestStats()
+        self.records_per_poll = records_per_poll
+        self.reader = IncrementalPcapReader(self.path, stats=self.stats)
+        # Deliberately the batch path's table defaults: any divergence
+        # here would break live-vs-batch flow equivalence.
+        self.table = FlowTable(stats=self.stats, **table_options)
+        self.finished = False
+        #: Records fed through the flow table so far.
+        self.records_consumed = 0
+        #: Set when the source turns out not to be a pcap at all; the
+        #: daemon quarantines the whole source and stops polling it.
+        self.failed: Exception | None = None
+
+    @property
+    def ingest_lag(self) -> int:
+        """Bytes on disk not yet consumed (tailing backlog)."""
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            return 0
+        return max(size - self.reader.resume_offset, 0)
+
+    @property
+    def live_flows(self) -> int:
+        return self.table.live_flows
+
+    def poll(self) -> list[Flow]:
+        """Consume newly landed records; return newly completed flows.
+
+        Reads at most ``records_per_poll`` records, so one source
+        cannot starve the rest of the daemon loop; the remainder is
+        picked up by the next poll (``ingest_lag`` stays honest
+        either way).
+        """
+        if self.finished or self.failed is not None:
+            return []
+        completed: list[Flow] = []
+        consumed = 0
+        try:
+            for record in self.reader.poll():
+                completed.extend(self.table.add(record))
+                consumed += 1
+                self.records_consumed += 1
+                if consumed >= self.records_per_poll:
+                    break
+        except ValueError as error:
+            # Not a pcap (bad magic, unsupported strict link type):
+            # the source is quarantined, not retried forever.
+            self.failed = error
+            self.reader.close()
+            return completed
+        return completed
+
+    def finalize(self) -> list[Flow]:
+        """End of capture: flush the trailing record, drain the table."""
+        if self.finished or self.failed is not None:
+            return []
+        self.finished = True
+        completed: list[Flow] = []
+        try:
+            for record in self.reader.finalize():
+                completed.extend(self.table.add(record))
+                self.records_consumed += 1
+        except ValueError as error:
+            self.failed = error
+            self.reader.close()
+            return completed
+        completed.extend(self.table.drain())
+        completed.sort(key=lambda flow: flow.index)
+        return completed

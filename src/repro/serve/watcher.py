@@ -1,0 +1,33 @@
+"""The spool watcher: drop-in captures become live sources.
+
+Operators often cannot point the daemon at capture files that exist
+yet — rotation tools and packet filters create them over time.  The
+:class:`SpoolWatcher` polls a directory for files matching a glob
+pattern and reports each exactly once, leaving lifecycle management
+(tailing, finalizing) to the daemon.  Polling, not inotify: no
+platform dependence, and the daemon loop already ticks at a cadence
+that makes a scan per tick cheap.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+
+class SpoolWatcher:
+    """Report files newly appearing under a directory, exactly once."""
+
+    def __init__(self, directory: str | Path, pattern: str = "*.pcap"):
+        self.directory = Path(directory)
+        self.pattern = pattern
+        self._seen: set[Path] = set()
+
+    def scan(self) -> list[Path]:
+        """Paths that appeared since the previous scan, sorted."""
+        try:
+            present = sorted(self.directory.glob(self.pattern))
+        except OSError:
+            return []
+        fresh = [path for path in present if path not in self._seen]
+        self._seen.update(fresh)
+        return fresh

@@ -21,6 +21,7 @@ from repro.stream.demux import (
     analyze_stream,
     build_flow_report,
     demux_pcap,
+    flow_payload,
 )
 from repro.stream.flowtable import (
     ConnectionKey,
@@ -28,7 +29,12 @@ from repro.stream.flowtable import (
     FlowTable,
     demux_records,
 )
-from repro.stream.reader import PcapHeader, iter_pcap, read_pcap_header
+from repro.stream.reader import (
+    IncrementalPcapReader,
+    PcapHeader,
+    iter_pcap,
+    read_pcap_header,
+)
 from repro.stream.stats import IngestStats, IngestWarning
 
 __all__ = [
@@ -36,6 +42,7 @@ __all__ = [
     "Flow",
     "FlowReport",
     "FlowTable",
+    "IncrementalPcapReader",
     "IngestStats",
     "IngestWarning",
     "PcapHeader",
@@ -43,6 +50,7 @@ __all__ = [
     "build_flow_report",
     "demux_pcap",
     "demux_records",
+    "flow_payload",
     "iter_pcap",
     "read_pcap_header",
 ]

@@ -86,6 +86,26 @@ def build_flow_report(flow: Flow,
     return FlowReport(flow=flow, report=report)
 
 
+def flow_payload(flow_report: FlowReport, trace_name: str,
+                 implementation: str | None = None) -> dict:
+    """The canonical JSONL payload for one analyzed flow.
+
+    Both the batch runner and the serve daemon emit per-flow payloads
+    through this one builder, which is what makes live output
+    comparable line-for-line with ``batch --stream`` output: same
+    keys, same order, same values for the same flow.  (Batch appends
+    a capture-wide ``ingest`` block afterwards; the serve sink cannot
+    — the capture is still growing when the flow is reported.)
+    """
+    payload = {
+        "trace": trace_name,
+        "implementation": implementation,
+        "records": len(flow_report.flow.records),
+    }
+    payload.update(flow_report.to_dict())
+    return payload
+
+
 def demux_pcap(path: str | FilePath,
                addresses: AddressMap | None = None,
                stats: IngestStats | None = None,

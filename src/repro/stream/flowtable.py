@@ -25,7 +25,7 @@ capture is deterministic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import Callable, Iterable, Iterator
 
 from repro.packets import Endpoint, FlowKey
 from repro.stream.stats import IngestStats
@@ -113,7 +113,8 @@ class FlowTable:
                  time_wait: float = DEFAULT_TIME_WAIT,
                  max_flows: int = DEFAULT_MAX_FLOWS,
                  syn_only: bool = True,
-                 stats: IngestStats | None = None) -> None:
+                 stats: IngestStats | None = None,
+                 on_retire: Callable[[Flow], None] | None = None) -> None:
         if max_flows < 1:
             raise ValueError(f"max_flows must be >= 1, not {max_flows}")
         self.idle_timeout = idle_timeout
@@ -121,6 +122,11 @@ class FlowTable:
         self.max_flows = max_flows
         self.syn_only = syn_only
         self.stats = stats if stats is not None else IngestStats()
+        # Invoked once per flow, at the moment it is retired (its
+        # close_reason already set).  Lets a live consumer — the serve
+        # tailer — react to completions without polling the return
+        # values of every add(); batch callers simply leave it unset.
+        self.on_retire = on_retire
         # Insertion order is maintained as least-recently-active first
         # (flows are re-inserted on every touch), so the front of the
         # dict is both the LRU eviction victim and the idlest flow.
@@ -193,6 +199,8 @@ class FlowTable:
         flow.close_reason = reason
         del self._flows[flow.key]
         self.stats.flow_retired(reason)
+        if self.on_retire is not None:
+            self.on_retire(flow)
 
     def _expire(self, now: float) -> list[Flow]:
         """Retire flows whose time-wait or idle timeout has passed.

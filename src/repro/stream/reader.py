@@ -11,6 +11,15 @@ warning-carrying partial results, unknown link types become a
 structured warning plus a best-effort raw-IP decode, and non-TCP
 cross-traffic is counted rather than crashed on.
 
+:class:`IncrementalPcapReader` is the live-capture variant underneath
+it: a stateful reader that can be polled repeatedly against a file
+that is *still being written*.  A partially-written trailing record is
+never treated as damage mid-stream — the reader rewinds to the record
+boundary (the **resume offset**) and retries once more bytes land.
+Only :meth:`IncrementalPcapReader.finalize` applies the end-of-capture
+truncation semantics, which is what ``iter_pcap`` does implicitly at
+end of file.
+
 All anomalies are reported through an optional :class:`IngestStats`;
 callers that pass none simply get the clean records.
 """
@@ -61,6 +70,11 @@ def read_pcap_header(handle: BinaryIO, name: str = "") -> PcapHeader:
     header = handle.read(GLOBAL_HEADER_LEN)
     if len(header) < GLOBAL_HEADER_LEN:
         raise ValueError(f"{name}: too short to be a pcap file")
+    return parse_pcap_header(header, name=name)
+
+
+def parse_pcap_header(header: bytes, name: str = "") -> PcapHeader:
+    """Decode 24 already-read global-header bytes (see read_pcap_header)."""
     # One detection path: read the magic big-endian.  A match means a
     # big-endian file; the byte-swapped constant means the writer was
     # little-endian; anything else is not a pcap file.
@@ -74,6 +88,200 @@ def read_pcap_header(handle: BinaryIO, name: str = "") -> PcapHeader:
     _v_major, _v_minor, _tz, _sig, snaplen, linktype = struct.unpack(
         endian + "HHiIII", header[4:GLOBAL_HEADER_LEN])
     return PcapHeader(endian=endian, snaplen=snaplen, linktype=linktype)
+
+
+class IncrementalPcapReader:
+    """A pollable pcap decoder for captures that are still growing.
+
+    Each :meth:`poll` decodes every record that is *completely* on
+    disk and returns, leaving :attr:`resume_offset` at the first byte
+    it could not fully consume.  A record whose per-packet header or
+    payload bytes are only partially written is left pending — the
+    next poll seeks back to the same offset and retries, so a tailer
+    never mistakes an in-progress write for a damaged capture.
+
+    :meth:`finalize` declares end-of-capture: any still-pending
+    partial record is then given the historical ``iter_pcap``
+    treatment (counted, warned about, and — when its headers survived
+    — decoded without checksum verification and yielded).
+
+    The reader opens lazily: constructing one against a path that does
+    not exist yet is fine; polls simply return nothing until the file
+    appears and its global header is complete.
+    """
+
+    def __init__(self, path: str | FilePath,
+                 addresses: AddressMap | None = None,
+                 stats: IngestStats | None = None,
+                 strict: bool = False):
+        self.path = FilePath(path)
+        self.addresses = addresses
+        self.stats = stats if stats is not None else IngestStats()
+        self.strict = strict
+        self.header: PcapHeader | None = None
+        self._handle: BinaryIO | None = None
+        self._strip = 0
+        self._offset = 0          # first byte not fully consumed
+        self._index = -1          # pcap record ordinal, for warnings
+        self._finalized = False
+
+    @property
+    def resume_offset(self) -> int:
+        """File offset the next poll retries from (bytes consumed)."""
+        return self._offset
+
+    def _ensure_header(self) -> bool:
+        """Open the file and parse the global header once available."""
+        if self.header is not None:
+            return True
+        if self._handle is None:
+            try:
+                self._handle = open(self.path, "rb")
+            except FileNotFoundError:
+                return False
+        self._handle.seek(0)
+        raw = self._handle.read(GLOBAL_HEADER_LEN)
+        if len(raw) < GLOBAL_HEADER_LEN:
+            return False          # header itself still being written
+        header = parse_pcap_header(raw, name=str(self.path))
+        self.header = header
+        self._offset = GLOBAL_HEADER_LEN
+        self._strip = ETHERNET_HEADER_LEN \
+            if header.linktype == LINKTYPE_ETHERNET else 0
+        if not header.link_supported:
+            if self.strict:
+                raise ValueError(f"{self.path}: unsupported link type "
+                                 f"{header.linktype}")
+            self.stats.warn("unknown-linktype",
+                            f"link type {header.linktype} unknown; "
+                            f"attempting raw-IP decode")
+        return True
+
+    def poll(self) -> Iterator[TraceRecord]:
+        """Yield every record now fully on disk; hold partials back."""
+        if self._finalized:
+            raise ValueError(f"{self.path}: reader already finalized")
+        if not self._ensure_header():
+            return
+        stats = self.stats
+        handle = self._handle
+        while True:
+            handle.seek(self._offset)
+            record_header = handle.read(RECORD_HEADER_LEN)
+            if len(record_header) < RECORD_HEADER_LEN:
+                return            # header incomplete: retry next poll
+            seconds, micros, incl_len, orig_len = struct.unpack(
+                self.header.endian + "IIII", record_header)
+            data = handle.read(incl_len)
+            if len(data) < incl_len:
+                return            # payload incomplete: retry next poll
+            self._offset += RECORD_HEADER_LEN + incl_len
+            self._index += 1
+            stats.packets_seen += 1
+            stats.bytes_seen += len(data)
+            record = self._decode(data, seconds, micros,
+                                  truncated=incl_len < orig_len,
+                                  short=False)
+            if record is not None:
+                yield record
+
+    def finalize(self) -> Iterator[TraceRecord]:
+        """Declare end-of-capture; apply truncated-trailer semantics.
+
+        Whatever trailing bytes remain unconsumed are now damage, not
+        an in-progress write: a cut-short record header warns; a
+        cut-short payload decodes without checksum verification and is
+        yielded as a partial result when its packet headers survive.
+        """
+        if self._finalized:
+            return
+        self._finalized = True
+        if self.header is None:
+            # Never enough bytes for a global header: preserve the
+            # historical contract that such a file is not a pcap.
+            if self._handle is not None:
+                self._handle.seek(0)
+                raw = self._handle.read(GLOBAL_HEADER_LEN)
+                self.close()
+                if raw:
+                    raise ValueError(
+                        f"{self.path}: too short to be a pcap file")
+            return
+        stats = self.stats
+        handle = self._handle
+        handle.seek(self._offset)
+        record_header = handle.read(RECORD_HEADER_LEN)
+        if not record_header:
+            self.close()
+            return
+        self._index += 1
+        if len(record_header) < RECORD_HEADER_LEN:
+            stats.packets_seen += 1
+            stats.truncated_records += 1
+            stats.warn("truncated-record",
+                       f"final record header cut short "
+                       f"({len(record_header)} of "
+                       f"{RECORD_HEADER_LEN} bytes)", self._index)
+            self.close()
+            return
+        seconds, micros, incl_len, _orig_len = struct.unpack(
+            self.header.endian + "IIII", record_header)
+        data = handle.read(incl_len)
+        incomplete = len(data)
+        self._offset += RECORD_HEADER_LEN + incomplete
+        stats.packets_seen += 1
+        stats.bytes_seen += len(data)
+        record = self._decode(data, seconds, micros, truncated=True,
+                              short=True, expected=incl_len)
+        self.close()
+        if record is not None:
+            yield record
+
+    def _decode(self, data: bytes, seconds: int, micros: int,
+                truncated: bool, short: bool,
+                expected: int = 0) -> TraceRecord | None:
+        """Decode one captured packet, doing all the stats accounting.
+
+        *short* marks a cut-short final record (finalize path): decode
+        failures there are truncation warnings, not decode errors.
+        """
+        stats = self.stats
+        data = data[self._strip:]
+        timestamp = seconds + micros / 1e6
+        # Snaplen truncation (incl < orig) and a cut-short final
+        # record both leave the payload unverifiable.
+        try:
+            record = decode_packet(data, timestamp, self.addresses,
+                                   verify_checksum=not truncated)
+        except PacketDecodeError as error:
+            if short:
+                stats.truncated_records += 1
+                stats.warn("truncated-record",
+                           f"final record cut short ({len(data)} of "
+                           f"{expected} captured bytes): {error}",
+                           self._index)
+                return None
+            if error.kind == "non-tcp":
+                stats.non_tcp_packets += 1
+                stats.warn("non-tcp", str(error), self._index)
+            else:
+                stats.decode_errors += 1
+                stats.warn("decode-error", str(error), self._index)
+            return None
+        stats.records_decoded += 1
+        if short:
+            stats.truncated_records += 1
+            stats.warn("truncated-record",
+                       f"final record cut short ({len(data)} of "
+                       f"{expected} captured bytes); partial record "
+                       f"decoded without checksum verification",
+                       self._index)
+        return record
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
 
 
 def iter_pcap(path: str | FilePath,
@@ -97,69 +305,16 @@ def iter_pcap(path: str | FilePath,
     A bad magic number or short global header still raises
     ``ValueError`` in either mode: that file is not a pcap.
     """
-    stats = stats if stats is not None else IngestStats()
-    with open(path, "rb") as handle:
-        header = read_pcap_header(handle, name=str(path))
-        strip = ETHERNET_HEADER_LEN \
-            if header.linktype == LINKTYPE_ETHERNET else 0
-        if not header.link_supported:
-            if strict:
-                raise ValueError(f"{path}: unsupported link type "
-                                 f"{header.linktype}")
-            stats.warn("unknown-linktype",
-                       f"link type {header.linktype} unknown; "
-                       f"attempting raw-IP decode")
-
-        index = -1
-        while True:
-            index += 1
-            record_header = handle.read(RECORD_HEADER_LEN)
-            if not record_header:
-                break
-            if len(record_header) < RECORD_HEADER_LEN:
-                stats.packets_seen += 1
-                stats.truncated_records += 1
-                stats.warn("truncated-record",
-                           f"final record header cut short "
-                           f"({len(record_header)} of "
-                           f"{RECORD_HEADER_LEN} bytes)", index)
-                break
-            seconds, micros, incl_len, orig_len = struct.unpack(
-                header.endian + "IIII", record_header)
-            data = handle.read(incl_len)
-            stats.packets_seen += 1
-            stats.bytes_seen += len(data)
-            short = len(data) < incl_len
-            data = data[strip:]
-            timestamp = seconds + micros / 1e6
-            # Snaplen truncation (incl < orig) and a cut-short final
-            # record both leave the payload unverifiable.
-            truncated = short or incl_len < orig_len
-            try:
-                record = decode_packet(data, timestamp, addresses,
-                                       verify_checksum=not truncated)
-            except PacketDecodeError as error:
-                if short:
-                    stats.truncated_records += 1
-                    stats.warn("truncated-record",
-                               f"final record cut short ({len(data)} of "
-                               f"{incl_len} captured bytes): {error}",
-                               index)
-                    break
-                if error.kind == "non-tcp":
-                    stats.non_tcp_packets += 1
-                    stats.warn("non-tcp", str(error), index)
-                else:
-                    stats.decode_errors += 1
-                    stats.warn("decode-error", str(error), index)
-                continue
-            stats.records_decoded += 1
-            if short:
-                stats.truncated_records += 1
-                stats.warn("truncated-record",
-                           f"final record cut short ({len(data)} of "
-                           f"{incl_len} captured bytes); partial record "
-                           f"decoded without checksum verification", index)
-                yield record
-                break
-            yield record
+    reader = IncrementalPcapReader(path, addresses=addresses,
+                                   stats=stats, strict=strict)
+    try:
+        if not reader._ensure_header():
+            # Missing file raises in open(); present-but-short raises
+            # here, matching the eager reader's contract.
+            if reader._handle is None:
+                open(path, "rb").close()   # surface FileNotFoundError
+            raise ValueError(f"{path}: too short to be a pcap file")
+        yield from reader.poll()
+        yield from reader.finalize()
+    finally:
+        reader.close()

@@ -21,8 +21,10 @@ from repro.fuzz.ingredients import (
     time_travel,
     truncate_frames,
     truncate_mss_frames,
+    wrap_sequences,
     zero_length_options,
 )
+from repro.units import SEQ_SPACE, seq_diff
 from repro.trace.record import Trace, TraceRecord
 from repro.trace.wire import AddressMap, decode_packet, encode_record
 
@@ -123,11 +125,51 @@ class TestRecordManglers:
             assert mangled[i + 1].seq == mangled[i].seq
             assert mangled[i + 1].timestamp > mangled[i].timestamp
 
+    def test_wrap_sequences_crosses_zero_mid_transfer(self):
+        trace = transfer_trace()
+        wrapped = wrap_sequences(trace, random.Random(0))
+        flow = trace.primary_flow()
+        seqs = [r.seq for r in wrapped if r.flow == flow]
+        # The raw numbers go backwards exactly once: the wrap.
+        drops = sum(1 for a, b in zip(seqs, seqs[1:]) if b < a)
+        assert drops == 1
+        assert any(s > SEQ_SPACE // 2 for s in seqs)   # before the wrap
+        assert any(s < SEQ_SPACE // 2 for s in seqs)   # after it
+
+    def test_wrap_sequences_is_a_pure_rebase(self):
+        trace = transfer_trace()
+        wrapped = wrap_sequences(trace, random.Random(1))
+        flow = trace.primary_flow()
+        reverse = flow.reversed()
+        before = [r for r in trace if r.flow == flow]
+        after = [r for r in wrapped if r.flow == flow]
+        # Relative progression is untouched — modular distance from
+        # the (new) ISN matches the original exactly.
+        assert [seq_diff(r.seq, before[0].seq) for r in before] == \
+            [seq_diff(r.seq, after[0].seq) for r in after]
+        # Acks covering the data direction moved by the same delta.
+        delta = (after[0].seq - before[0].seq) % SEQ_SPACE
+        for b, a in zip((r for r in trace if r.flow == reverse),
+                        (r for r in wrapped if r.flow == reverse)):
+            if b.has_ack:
+                assert a.ack == (b.ack + delta) % SEQ_SPACE
+
+    def test_wrap_sequences_stays_encodable(self):
+        addresses = AddressMap()
+        wrapped = wrap_sequences(transfer_trace(), random.Random(2))
+        for record in wrapped:
+            assert 0 <= record.seq < SEQ_SPACE
+            assert 0 <= record.ack < SEQ_SPACE
+            encode_record(record, addresses)    # must not overflow !I
+
     def test_same_seed_same_result(self):
         trace = transfer_trace()
         a = thin_acks(trace, random.Random(7))
         b = thin_acks(trace, random.Random(7))
         assert a.records == b.records
+        c = wrap_sequences(trace, random.Random(7))
+        d = wrap_sequences(trace, random.Random(7))
+        assert c.records == d.records
 
 
 class TestFrameManglers:

@@ -25,6 +25,7 @@ from repro.fuzz.ingredients import (
     render_pcap,
     rst_abort,
     truncate_mss_frames,
+    wrap_sequences,
     zero_length_options,
 )
 from repro.packets import ACK, RST, SYN, Endpoint
@@ -116,6 +117,29 @@ class TestTrailerPadding:
         for original, frame in zip(transfer_trace(), padded):
             decoded = decode_packet(frame.data, frame.timestamp, addresses)
             assert decoded.payload == original.payload
+
+
+class TestSequenceWraparound:
+    """A transfer crossing 2**32 mid-flight is perfectly legal TCP
+    (the ISN is random); any raw sequence-number comparison in the
+    pipeline would shatter the flow or crash on it.  Modular
+    arithmetic (``seq_diff``/``seq_lt``) must carry it whole."""
+
+    def test_wrapped_transfer_stays_one_whole_flow(self, tmp_path):
+        addresses = AddressMap()
+        trace = wrap_sequences(transfer_trace(), random.Random(0))
+        frames = [Frame(r.timestamp, encode_record(r, addresses))
+                  for r in trace.records]
+        path = tmp_path / "wrap.pcap"
+        path.write_bytes(render_pcap(frames))
+        stats = IngestStats()
+        reports = list(analyze_stream(path, identify=False, tolerant=True,
+                                      stats=stats, addresses=addresses))
+        assert stats.records_decoded == len(trace)
+        assert len(reports) == 1
+        report = reports[0]
+        assert report.error is None
+        assert len(report.flow.records) == len(trace)
 
 
 class TestRstExcludedFromAcks:

@@ -38,6 +38,19 @@ class TestRunScenario:
         outcome = run_scenario(plan)
         assert outcome.ok, f"{outcome.outcome}: {outcome.detail}"
 
+    def test_seq_wraparound_scenario_classifies(self):
+        # The ROADMAP's named stretch ingredient: a transfer whose
+        # sequence space crosses 2**32 mid-flight must still land a
+        # PASS verdict from the oracle — raw-number comparisons
+        # anywhere in the pipeline would shatter the flow or crash.
+        for seed in (11, 42):
+            plan = clean_plan(seed=seed, implementation="linux-1.0",
+                              scenario="wan", data_size=16384,
+                              record_manglers=("seq-wraparound",))
+            outcome = run_scenario(plan)
+            assert outcome.ok, f"{outcome.outcome}: {outcome.detail}"
+            assert outcome.outcome == "identified"
+
     def test_cross_connections_share_the_capture(self):
         plan = clean_plan(seed=9, cross_connections=("tahoe", "linux-1.0"))
         outcome = run_scenario(plan)

@@ -1,12 +1,34 @@
 """Supervised pool: crash recovery, timeouts, classified quarantine."""
 
+import os
+from dataclasses import dataclass
+
 import pytest
 
 from repro.core.errors import AnalysisError, classify_exception
 from repro.harness.corpus import write_corpus
 from repro.harness.faults import FaultPlan, FaultSpec
-from repro.pipeline import SupervisedPool, corpus_items, run_batch
+from repro.pipeline import PoolSession, SupervisedPool, corpus_items, \
+    run_batch
 from repro.pipeline.resilience import error_payload
+
+
+@dataclass(frozen=True)
+class Job:
+    """Minimal batch-item protocol for direct PoolSession tests."""
+
+    name: str
+    implementation: str | None = None
+
+
+def _echo_worker(index, item, attempt):
+    return [{"item": item.name, "attempt": attempt, "pid": os.getpid()}]
+
+
+def _crash_once_worker(index, item, attempt):
+    if item.name == "bomb" and attempt == 0:
+        os._exit(9)
+    return [{"item": item.name, "attempt": attempt}]
 
 
 @pytest.fixture(scope="module")
@@ -153,6 +175,76 @@ class TestTimeouts:
         assert warm.cache_misses == 1
         by_name = {r.name: r.payload for r in warm.results}
         assert "error" not in by_name[victim]
+
+
+class TestPoolSession:
+    """The incremental submit/poll substrate under SupervisedPool and
+    the serve scheduler."""
+
+    def test_submit_poll_resolves_every_index_once(self):
+        session = PoolSession(2, _echo_worker)
+        for i in range(6):
+            session.submit(i, Job(name=f"job-{i}"))
+        seen = {}
+        while session.outstanding > 0:
+            for index, payloads, elapsed in session.poll():
+                assert index not in seen
+                assert elapsed >= 0.0
+                seen[index] = payloads[0]["item"]
+        session.close()
+        assert seen == {i: f"job-{i}" for i in range(6)}
+
+    def test_incremental_submission_between_polls(self):
+        session = PoolSession(1, _echo_worker)
+        session.submit(0, Job(name="first"))
+        first = list(session.drain())
+        session.submit(1, Job(name="second"))   # session still open
+        second = list(session.drain())
+        session.close()
+        assert [p[0]["item"] for _i, p, _e in first] == ["first"]
+        assert [p[0]["item"] for _i, p, _e in second] == ["second"]
+
+    def test_same_shard_pins_to_one_worker(self):
+        session = PoolSession(2, _echo_worker)
+        for i in range(6):
+            session.submit(i, Job(name=f"job-{i}"), shard=7)
+        pids = set()
+        while session.outstanding > 0:
+            for _index, payloads, _elapsed in session.poll():
+                pids.add(payloads[0]["pid"])
+        session.close()
+        assert len(pids) == 1
+
+    def test_dead_worker_is_respawned_and_counted(self):
+        session = PoolSession(1, _crash_once_worker, retries=2)
+        session.submit(0, Job(name="bomb"))
+        session.submit(1, Job(name="after"))
+        results = {}
+        while session.outstanding > 0:
+            for index, payloads, _elapsed in session.poll():
+                results[index] = payloads[0]
+        session.close()
+        assert session.worker_restarts >= 1
+        assert results[0] == {"item": "bomb", "attempt": 1}
+        assert results[1]["item"] == "after"
+
+    def test_queue_accounting(self):
+        session = PoolSession(1, _echo_worker)
+        for i in range(4):
+            session.submit(i, Job(name=f"job-{i}"))
+        assert session.outstanding == 4
+        assert session.inflight + session.queue_depth == 4
+        while session.outstanding > 0:
+            session.poll()
+        assert session.queue_depth == 0
+        assert session.inflight == 0
+        session.close()
+
+    def test_closed_session_rejects_submissions(self):
+        session = PoolSession(1, _echo_worker)
+        session.close()
+        with pytest.raises(ValueError, match="closed"):
+            session.submit(0, Job(name="late"))
 
 
 class TestInjectedExceptions:

@@ -1,0 +1,147 @@
+"""The daemon loop in-process: equivalence, backpressure, resilience.
+
+Signal-driven drain (SIGTERM mid-stream) needs a real process and
+lives in ``tests/test_serve_interrupt.py``; everything else about the
+loop is exercised here via ``exit_when_idle``, the batch-comparison
+shutdown shape.
+"""
+
+import json
+
+import pytest
+
+from repro.harness.corpus import generate_interleaved_capture
+from repro.harness.faults import FaultPlan, FaultSpec
+from repro.pipeline.runner import BatchItem, run_batch
+from repro.serve import ServeConfig, ServeDaemon
+from repro.trace.pcap import write_pcap
+
+
+@pytest.fixture(scope="module")
+def live_capture(tmp_path_factory):
+    """A 4-connection interleaved capture on disk."""
+    outdir = tmp_path_factory.mktemp("serve-capture")
+    capture = generate_interleaved_capture(
+        ["reno", "tahoe"], connections=4, scenarios=("wan",),
+        data_size=8192)
+    path = outdir / "live.pcap"
+    write_pcap(capture.trace, path)
+    return path
+
+
+def serve_config(out_dir, **overrides) -> ServeConfig:
+    spec = dict(out_dir=out_dir, workers=2, exit_when_idle=True,
+                quiet_seconds=0.3, poll_interval=0.05)
+    spec.update(overrides)
+    return ServeConfig(**spec)
+
+
+def sink_lines(out_dir, source: str) -> list[dict]:
+    path = out_dir / "results" / f"{source}.jsonl"
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+class TestLiveBatchEquivalence:
+    def test_sink_matches_batch_stream_byte_for_byte(self, live_capture,
+                                                     tmp_path):
+        out = tmp_path / "out"
+        daemon = ServeDaemon(serve_config(out, captures=[live_capture]))
+        assert daemon.run() == 0
+
+        batch = run_batch([BatchItem(name=live_capture.name,
+                                     path=live_capture)],
+                          jobs=1, stream=True)
+        expected = []
+        for result in batch.results:
+            payload = dict(result.payload)
+            payload.pop("ingest", None)   # capture-wide; serve has none
+            expected.append(json.dumps(payload, sort_keys=True))
+        got = [json.dumps(payload, sort_keys=True)
+               for payload in sink_lines(out, live_capture.name)]
+        assert sorted(got) == sorted(expected)
+        assert daemon.metrics.flows_completed == len(expected)
+        assert daemon.metrics.flows_quarantined == 0
+
+    def test_rerun_replays_from_journal_without_reanalysis(
+            self, live_capture, tmp_path):
+        out = tmp_path / "out"
+        first = ServeDaemon(serve_config(out, captures=[live_capture]))
+        assert first.run() == 0
+        lines_before = sink_lines(out, live_capture.name)
+
+        second = ServeDaemon(serve_config(out, captures=[live_capture]))
+        assert second.run() == 0
+        assert second.metrics.journal_skips == len(lines_before)
+        # The sink deduped every replayed flow: zero new lines.
+        assert sink_lines(out, live_capture.name) == lines_before
+
+
+class TestSpoolDiscovery:
+    def test_dropped_capture_is_analyzed(self, live_capture, tmp_path):
+        spool = tmp_path / "spool"
+        spool.mkdir()
+        (spool / "drop.pcap").write_bytes(live_capture.read_bytes())
+        out = tmp_path / "out"
+        daemon = ServeDaemon(serve_config(out, spool=spool))
+        assert daemon.run() == 0
+        assert len(sink_lines(out, "drop.pcap")) == 4
+        assert daemon.metrics.sources == 1
+
+
+class TestSourceQuarantine:
+    def test_non_pcap_source_gets_one_classified_line(self, tmp_path):
+        bogus = tmp_path / "bogus.pcap"
+        bogus.write_bytes(b"these bytes are not a capture at all....")
+        out = tmp_path / "out"
+        daemon = ServeDaemon(serve_config(out, captures=[bogus]))
+        assert daemon.run() == 0
+        lines = sink_lines(out, "bogus.pcap")
+        assert len(lines) == 1
+        assert lines[0]["error_kind"] == "decode"
+        assert daemon.metrics.sources_failed == 1
+
+
+class TestBackpressure:
+    def test_slow_worker_pauses_tailing_then_recovers(self, tmp_path):
+        # Connections spaced 20s apart in stream time: each closes and
+        # the next connection's records push it past time-wait, so
+        # flows retire *mid-stream* and queue on the single worker —
+        # which a hang fault pins down for long enough that the queue
+        # crosses the high-water mark and tailing must pause.
+        capture = generate_interleaved_capture(
+            ["reno", "tahoe"], connections=8, scenarios=("wan",),
+            data_size=4096, start_interval=20.0)
+        path = tmp_path / "busy.pcap"
+        write_pcap(capture.trace, path)
+        plan = FaultPlan((FaultSpec(match=0, kind="hang",
+                                    hang_seconds=0.6),))
+        out = tmp_path / "out"
+        daemon = ServeDaemon(serve_config(
+            out, captures=[path], workers=1, records_per_poll=64,
+            high_water=2, low_water=1, fault_plan=plan))
+        assert daemon.run() == 0
+        assert daemon.metrics.pause_events >= 1
+        assert daemon.paused is False             # resumed before exit
+        assert len(sink_lines(out, "busy.pcap")) == 8
+        assert daemon.metrics.flows_quarantined == 0
+
+
+class TestWorkerDeath:
+    def test_persistent_crasher_quarantines_not_kills_the_daemon(
+            self, live_capture, tmp_path):
+        plan = FaultPlan((FaultSpec(match="live.pcap#flow-0000",
+                                    kind="kill"),))
+        out = tmp_path / "out"
+        daemon = ServeDaemon(serve_config(
+            out, captures=[live_capture], workers=1, retries=1,
+            fault_plan=plan))
+        assert daemon.run() == 0
+        lines = {line["trace"]: line
+                 for line in sink_lines(out, "live.pcap")}
+        assert len(lines) == 4
+        assert lines["live.pcap#flow-0000"]["error_kind"] == "crash"
+        healthy = [line for name, line in lines.items()
+                   if name != "live.pcap#flow-0000"]
+        assert all("error_kind" not in line for line in healthy)
+        assert daemon.metrics.worker_restarts >= 1
+        assert daemon.metrics.flows_quarantined == 1

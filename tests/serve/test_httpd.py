@@ -1,0 +1,61 @@
+"""The stats/health endpoint: liveness, readiness, snapshots, 404s."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve.httpd import StatsServer
+
+
+@pytest.fixture
+def server():
+    state = {"ready": False, "stats": {"answer": 42}}
+    httpd = StatsServer(lambda: state["stats"], lambda: state["ready"],
+                        port=0)
+    httpd.start()
+    yield httpd, state
+    httpd.stop()
+
+
+def get(port: int, path: str):
+    return urllib.request.urlopen(f"http://127.0.0.1:{port}{path}",
+                                  timeout=5)
+
+
+class TestStatsServer:
+    def test_healthz_is_always_200(self, server):
+        httpd, _state = server
+        with get(httpd.port, "/healthz") as response:
+            assert response.status == 200
+            assert response.read() == b"ok\n"
+
+    def test_readyz_tracks_daemon_readiness(self, server):
+        httpd, state = server
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            get(httpd.port, "/readyz")
+        assert caught.value.code == 503
+        state["ready"] = True
+        with get(httpd.port, "/readyz") as response:
+            assert response.status == 200
+
+    def test_stats_returns_the_snapshot_as_json(self, server):
+        httpd, state = server
+        with get(httpd.port, "/stats") as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"] == "application/json"
+            assert json.load(response) == {"answer": 42}
+        state["stats"] = {"answer": 43}
+        with get(httpd.port, "/stats") as response:
+            assert json.load(response) == {"answer": 43}
+
+    def test_unknown_path_is_404(self, server):
+        httpd, _state = server
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            get(httpd.port, "/metrics")
+        assert caught.value.code == 404
+
+    def test_ephemeral_port_is_real(self, server):
+        httpd, _state = server
+        assert httpd.port > 0

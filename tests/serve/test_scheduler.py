@@ -1,0 +1,115 @@
+"""Flow dispatch: sharding, journal-first durability, replay on restart."""
+
+import pytest
+
+from repro.harness.faults import FaultPlan, FaultSpec
+from repro.pipeline.journal import BatchJournal
+from repro.serve import FlowScheduler, FlowWorkItem, analyze_flow_item
+from repro.stream.flowtable import demux_records
+
+from tests.conftest import cached_transfer
+
+
+@pytest.fixture(scope="module")
+def reno_flow():
+    records = cached_transfer("reno").sender_trace.records
+    flows = list(demux_records(records))
+    assert len(flows) == 1
+    return flows[0]
+
+
+class TestFlowWorkItem:
+    def test_name_carries_source_and_flow_index(self, reno_flow):
+        item = FlowWorkItem("eth0.pcap", reno_flow)
+        assert item.name == "eth0.pcap#flow-0000"
+
+    def test_shard_is_stable_and_source_scoped(self, reno_flow):
+        a = FlowWorkItem("one.pcap", reno_flow)
+        b = FlowWorkItem("one.pcap", reno_flow)
+        c = FlowWorkItem("two.pcap", reno_flow)
+        assert a.shard() == b.shard()     # pure function, no hash salt
+        assert a.shard() != c.shard()
+        assert isinstance(a.shard(), int)
+
+    def test_digest_tracks_the_flow_bytes(self, reno_flow):
+        item = FlowWorkItem("one.pcap", reno_flow)
+        assert item.content_digest() == item.content_digest()
+
+
+class TestAnalyzeFlowItem:
+    def test_payload_matches_batch_shape_minus_ingest(self, reno_flow):
+        item = FlowWorkItem("cap.pcap", reno_flow, implementation="reno")
+        payloads = analyze_flow_item(0, item, 0)
+        assert len(payloads) == 1
+        payload = payloads[0]
+        assert payload["trace"] == "cap.pcap#flow-0000"
+        assert payload["implementation"] == "reno"
+        assert "identification" in payload
+        assert "ingest" not in payload    # the capture is still growing
+
+    def test_injected_failure_comes_back_classified(self, reno_flow):
+        item = FlowWorkItem("cap.pcap", reno_flow)
+        plan = FaultPlan((FaultSpec(match=item.name, kind="raise",
+                                    exception="OSError"),))
+        payloads = analyze_flow_item(0, item, 0, fault_plan=plan)
+        assert payloads[0]["error_kind"] == "io"
+
+
+class TestFlowScheduler:
+    def test_round_trip_journals_then_replays(self, reno_flow, tmp_path):
+        journal_path = tmp_path / "journal.jsonl"
+        journal = BatchJournal(journal_path, stream=True, resume=True)
+        scheduler = FlowScheduler(1, journal=journal)
+        item = FlowWorkItem("cap.pcap", reno_flow, implementation="reno")
+        assert scheduler.submit(item) == []
+        results = scheduler.drain()
+        scheduler.close()
+        journal.close()
+        assert [name for name, _ in results] == ["cap.pcap#flow-0000"]
+
+        # A restarted scheduler replays the journaled flow instantly.
+        journal = BatchJournal(journal_path, stream=True, resume=True)
+        restarted = FlowScheduler(1, journal=journal)
+        replay = restarted.submit(
+            FlowWorkItem("cap.pcap", reno_flow, implementation="reno"))
+        restarted.close()
+        journal.close()
+        assert replay == results
+        assert restarted.replayed == 1
+
+    def test_transient_failures_are_never_journaled(self, reno_flow,
+                                                    tmp_path):
+        journal_path = tmp_path / "journal.jsonl"
+        item = FlowWorkItem("cap.pcap", reno_flow)
+        plan = FaultPlan((FaultSpec(match=item.name, kind="raise",
+                                    exception="OSError"),))
+        journal = BatchJournal(journal_path, stream=True, resume=True)
+        scheduler = FlowScheduler(1, journal=journal, fault_plan=plan)
+        scheduler.submit(item)
+        results = scheduler.drain()
+        scheduler.close()
+        journal.close()
+        assert results[0][1][0]["error_kind"] == "io"
+
+        # Restart: the io quarantine was transient, so no replay —
+        # the flow is analyzed again (and succeeds without the fault).
+        journal = BatchJournal(journal_path, stream=True, resume=True)
+        retried = FlowScheduler(1, journal=journal)
+        assert retried.submit(FlowWorkItem("cap.pcap", reno_flow)) == []
+        fresh = retried.drain()
+        retried.close()
+        journal.close()
+        assert retried.replayed == 0
+        assert "error_kind" not in fresh[0][1][0]
+
+    def test_outstanding_and_queue_accounting(self, reno_flow, tmp_path):
+        scheduler = FlowScheduler(1)
+        for source in ("a.pcap", "b.pcap", "c.pcap"):
+            scheduler.submit(FlowWorkItem(source, reno_flow))
+        assert scheduler.outstanding == 3
+        assert scheduler.queue_depth + scheduler.inflight <= 3
+        results = scheduler.drain()
+        scheduler.close()
+        assert scheduler.outstanding == 0
+        assert sorted(name for name, _ in results) == \
+            ["a.pcap#flow-0000", "b.pcap#flow-0000", "c.pcap#flow-0000"]

@@ -1,0 +1,88 @@
+"""Tailing a growing capture: incremental consumption, honest lag."""
+
+import pytest
+
+from repro.serve import CaptureTailer
+from repro.trace.pcap import write_pcap
+from repro.trace.wire import AddressMap
+
+from tests.conftest import cached_transfer
+
+
+@pytest.fixture
+def capture_bytes(tmp_path):
+    trace = cached_transfer("reno").sender_trace
+    path = tmp_path / "whole.pcap"
+    write_pcap(trace, path, addresses=AddressMap())
+    return path.read_bytes(), len(trace)
+
+
+class TestCaptureTailer:
+    def test_source_defaults_to_the_file_name(self, tmp_path):
+        tailer = CaptureTailer(tmp_path / "eth0.pcap")
+        assert tailer.source == "eth0.pcap"
+
+    def test_chunked_growth_consumes_everything(self, tmp_path,
+                                                capture_bytes):
+        data, total = capture_bytes
+        path = tmp_path / "grow.pcap"
+        path.write_bytes(b"")
+        tailer = CaptureTailer(path)
+        for start in range(0, len(data), 1000):
+            with open(path, "ab") as handle:
+                handle.write(data[start:start + 1000])
+            tailer.poll()
+        flows = tailer.finalize()
+        assert tailer.records_consumed == total
+        assert tailer.ingest_lag == 0
+        assert len(flows) == 1
+        assert len(flows[0].records) == total
+
+    def test_partial_trailing_record_keeps_lag_honest(self, tmp_path,
+                                                      capture_bytes):
+        data, total = capture_bytes
+        path = tmp_path / "grow.pcap"
+        cut = len(data) - 25          # inside the final record
+        path.write_bytes(data[:cut])
+        tailer = CaptureTailer(path)
+        tailer.poll()
+        assert tailer.records_consumed == total - 1
+        assert tailer.ingest_lag > 0  # the partial bytes are pending
+        with open(path, "ab") as handle:
+            handle.write(data[cut:])
+        tailer.poll()
+        assert tailer.records_consumed == total
+        assert tailer.ingest_lag == 0
+
+    def test_records_per_poll_bounds_one_poll(self, tmp_path,
+                                              capture_bytes):
+        data, total = capture_bytes
+        path = tmp_path / "big.pcap"
+        path.write_bytes(data)
+        tailer = CaptureTailer(path, records_per_poll=10)
+        tailer.poll()
+        assert tailer.records_consumed == 10
+        assert tailer.ingest_lag > 0
+        while tailer.records_consumed < total:
+            before = tailer.records_consumed
+            tailer.poll()
+            assert tailer.records_consumed > before
+
+    def test_non_pcap_source_fails_once_not_forever(self, tmp_path):
+        path = tmp_path / "bogus.pcap"
+        path.write_bytes(b"this is not a capture file, sorry...")
+        tailer = CaptureTailer(path)
+        assert tailer.poll() == []
+        assert tailer.failed is not None
+        assert tailer.poll() == []    # quarantined: no further reads
+
+    def test_not_yet_existing_file_polls_empty(self, tmp_path,
+                                               capture_bytes):
+        data, total = capture_bytes
+        path = tmp_path / "later.pcap"
+        tailer = CaptureTailer(path)
+        assert tailer.poll() == []
+        assert tailer.ingest_lag == 0
+        path.write_bytes(data)
+        tailer.poll()
+        assert tailer.records_consumed == total

@@ -1,0 +1,34 @@
+"""Spool watching: each drop-in capture is reported exactly once."""
+
+from repro.serve import SpoolWatcher
+
+
+class TestSpoolWatcher:
+    def test_reports_each_file_exactly_once(self, tmp_path):
+        watcher = SpoolWatcher(tmp_path)
+        (tmp_path / "a.pcap").write_bytes(b"")
+        assert watcher.scan() == [tmp_path / "a.pcap"]
+        assert watcher.scan() == []
+        (tmp_path / "b.pcap").write_bytes(b"")
+        assert watcher.scan() == [tmp_path / "b.pcap"]
+
+    def test_pattern_filters_non_captures(self, tmp_path):
+        watcher = SpoolWatcher(tmp_path)
+        (tmp_path / "notes.txt").write_text("hi")
+        (tmp_path / "c.pcap").write_bytes(b"")
+        assert watcher.scan() == [tmp_path / "c.pcap"]
+
+    def test_missing_directory_is_not_fatal(self, tmp_path):
+        watcher = SpoolWatcher(tmp_path / "not-yet")
+        assert watcher.scan() == []
+        # The directory appearing later starts reporting normally.
+        (tmp_path / "not-yet").mkdir()
+        (tmp_path / "not-yet" / "d.pcap").write_bytes(b"")
+        assert watcher.scan() == [tmp_path / "not-yet" / "d.pcap"]
+
+    def test_batch_of_files_arrives_sorted(self, tmp_path):
+        watcher = SpoolWatcher(tmp_path)
+        for name in ("z.pcap", "a.pcap", "m.pcap"):
+            (tmp_path / name).write_bytes(b"")
+        assert [p.name for p in watcher.scan()] \
+            == ["a.pcap", "m.pcap", "z.pcap"]

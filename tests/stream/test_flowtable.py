@@ -100,6 +100,41 @@ class TestLifecycle:
         assert len(flows[0].records) == 1
 
 
+class TestRetirementCallback:
+    """``on_retire`` fires once per retired flow, whatever the path —
+    the hook the serve daemon's rolling aggregates hang off."""
+
+    def test_fires_on_teardown_retirement(self):
+        retired = []
+        table = FlowTable(on_retire=retired.append)
+        a = client(0)
+        for record in handshake(0.0, a, SERVER) + teardown(1.0, a, SERVER):
+            table.add(record)
+        # A later record pushes the closed flow past time-wait.
+        b = client(1)
+        table.add(rec(10.0, b, SERVER, flags=SYN))
+        assert len(retired) == 1
+        assert retired[0].close_reason == "fin"
+
+    def test_fires_on_drain_and_eviction(self):
+        retired = []
+        table = FlowTable(max_flows=2, on_retire=retired.append)
+        for i in range(3):
+            for record in handshake(float(i), client(i), SERVER):
+                table.add(record)
+        assert len(retired) == 1              # LRU eviction
+        assert retired[0].close_reason == "evicted"
+        table.drain()
+        assert len(retired) == 3
+        assert {flow.close_reason for flow in retired[1:]} == {"eof"}
+
+    def test_callback_is_optional(self):
+        table = FlowTable()
+        for record in handshake(0.0, client(0), SERVER):
+            table.add(record)
+        assert len(table.drain()) == 1        # no hook, no crash
+
+
 class TestOrphans:
     def test_non_syn_stray_is_counted_not_admitted(self):
         stats = IngestStats()

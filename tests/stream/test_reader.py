@@ -4,7 +4,7 @@ import struct
 
 import pytest
 
-from repro.stream import IngestStats, iter_pcap
+from repro.stream import IncrementalPcapReader, IngestStats, iter_pcap
 from repro.trace.pcap import read_pcap, write_pcap
 from repro.trace.record import Trace, TraceRecord
 from repro.trace.wire import AddressMap
@@ -138,6 +138,82 @@ class TestDamageTolerance:
         loaded = list(iter_pcap(path, stats=stats))
         assert len(loaded) == len(wan_trace) - 1
         assert any(w.kind == "truncated-record" for w in stats.warnings)
+
+
+class TestIncrementalReader:
+    """The pollable reader behind ``tcpanaly serve``: a half-written
+    trailing record is *pending bytes*, not damage, until finalize."""
+
+    def test_partial_trailing_record_is_retried_not_warned(
+            self, wan_trace, tmp_path):
+        path = tmp_path / "grow.pcap"
+        write_pcap(wan_trace, path)
+        data = path.read_bytes()
+        cut = len(data) - 25              # inside the final record
+        path.write_bytes(data[:cut])
+        stats = IngestStats()
+        reader = IncrementalPcapReader(path, stats=stats)
+        records = list(reader.poll())
+        assert len(records) == len(wan_trace) - 1
+        assert stats.truncated_records == 0   # pending, not truncated
+        assert reader.resume_offset < cut     # parked before the partial
+        # The rest of the record lands: the same offset now parses.
+        with open(path, "ab") as handle:
+            handle.write(data[cut:])
+        records.extend(reader.poll())
+        assert len(records) == len(wan_trace)
+        assert reader.resume_offset == len(data)
+        reader.close()
+
+    def test_chunked_polls_match_one_shot_read(self, wan_trace, tmp_path):
+        whole = tmp_path / "whole.pcap"
+        addresses = AddressMap()
+        write_pcap(wan_trace, whole, addresses=addresses)
+        data = whole.read_bytes()
+        path = tmp_path / "grow.pcap"
+        path.write_bytes(b"")
+        reader = IncrementalPcapReader(path, addresses=addresses)
+        records = []
+        for start in range(0, len(data), 700):
+            with open(path, "ab") as handle:
+                handle.write(data[start:start + 700])
+            records.extend(reader.poll())
+        records.extend(reader.finalize())
+        reader.close()
+        assert records == list(iter_pcap(whole, addresses=addresses))
+
+    def test_finalize_applies_end_of_capture_semantics(self, wan_trace,
+                                                       tmp_path):
+        path = tmp_path / "cut.pcap"
+        write_pcap(wan_trace, path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-10])      # final record cut mid-headers
+        stats = IngestStats()
+        reader = IncrementalPcapReader(path, stats=stats)
+        records = list(reader.poll())
+        assert stats.truncated_records == 0
+        list(reader.finalize())
+        reader.close()
+        assert len(records) == len(wan_trace) - 1
+        assert stats.truncated_records == 1
+        assert any(w.kind == "truncated-record" for w in stats.warnings)
+
+    def test_file_may_not_exist_yet(self, wan_trace, tmp_path):
+        path = tmp_path / "later.pcap"
+        reader = IncrementalPcapReader(path)
+        assert list(reader.poll()) == []
+        assert reader.resume_offset == 0
+        write_pcap(wan_trace, path)
+        assert len(list(reader.poll())) == len(wan_trace)
+        reader.close()
+
+    def test_bad_magic_raises_value_error(self, tmp_path):
+        path = tmp_path / "bogus.pcap"
+        path.write_bytes(b"x" * 64)
+        reader = IncrementalPcapReader(path)
+        with pytest.raises(ValueError):
+            list(reader.poll())
+        reader.close()
 
 
 class TestUnknownLinkType:

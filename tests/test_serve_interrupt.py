@@ -1,0 +1,93 @@
+"""SIGTERM during ``tcpanaly serve``: clean drain, duplicate-free resume.
+
+Runs the real CLI in a subprocess against a capture that grows while
+the daemon tails it, because signal-driven drain cannot be faithfully
+exercised in-process.  The acceptance invariant: kill-and-restart
+produces a sink byte-identical to one ``batch --stream`` run over the
+finished file, with zero duplicate lines.
+"""
+
+import json
+import signal
+import time
+
+import pytest
+
+from repro.harness.corpus import generate_interleaved_capture
+from repro.pipeline.runner import BatchItem, run_batch
+from repro.trace.pcap import write_pcap
+
+from tests.test_cli_interrupt import run_cli
+
+CONNECTIONS = 8
+CHUNK = 4096
+
+
+@pytest.fixture(scope="module")
+def capture_bytes(tmp_path_factory):
+    outdir = tmp_path_factory.mktemp("serve-interrupt")
+    capture = generate_interleaved_capture(
+        ["reno", "tahoe"], connections=CONNECTIONS, scenarios=("wan",),
+        data_size=8192)
+    donor = outdir / "donor.pcap"
+    write_pcap(capture.trace, donor)
+    return donor.read_bytes()
+
+
+class TestServeInterrupt:
+    def test_sigterm_drains_and_restart_has_zero_duplicates(
+            self, capture_bytes, tmp_path):
+        grow = tmp_path / "grow.pcap"
+        out = tmp_path / "out"
+        grow.write_bytes(b"")
+
+        proc = run_cli(["serve", str(grow), "--out", str(out),
+                        "--jobs", "2"])
+        try:
+            # Feed roughly half the capture while the daemon tails it.
+            half = len(capture_bytes) // 2
+            written = 0
+            while written < half:
+                with open(grow, "ab") as handle:
+                    handle.write(capture_bytes[written:written + CHUNK])
+                written += CHUNK
+                time.sleep(0.02)
+            time.sleep(1.0)               # let the tailer catch up
+            assert proc.poll() is None, "daemon exited prematurely"
+            proc.send_signal(signal.SIGTERM)
+            stdout, stderr = proc.communicate(timeout=120)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate(timeout=30)
+        assert proc.returncode == 0, stderr
+        assert "tcpanaly serve: drained" in stdout
+        assert "Traceback" not in stderr
+
+        # Finish the capture and restart; the journal replays what the
+        # first run completed, the sink dedupes, nothing is lost.
+        with open(grow, "ab") as handle:
+            handle.write(capture_bytes[written:])
+        resumed = run_cli(["serve", str(grow), "--out", str(out),
+                           "--jobs", "2", "--exit-when-idle",
+                           "--quiet", "0.5"])
+        stdout, stderr = resumed.communicate(timeout=240)
+        assert resumed.returncode == 0, stderr
+        assert "tcpanaly serve: drained" in stdout
+
+        lines = [json.loads(line) for line in
+                 (out / "results" / "grow.pcap.jsonl")
+                 .read_text().splitlines()]
+        names = [line["trace"] for line in lines]
+        assert len(names) == len(set(names)), "duplicate sink lines"
+        assert len(names) == CONNECTIONS
+
+        batch = run_batch([BatchItem(name="grow.pcap", path=grow)],
+                          jobs=1, stream=True)
+        expected = []
+        for result in batch.results:
+            payload = dict(result.payload)
+            payload.pop("ingest", None)
+            expected.append(json.dumps(payload, sort_keys=True))
+        got = [json.dumps(line, sort_keys=True) for line in lines]
+        assert sorted(got) == sorted(expected)
