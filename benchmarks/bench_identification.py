@@ -33,6 +33,7 @@ from repro.core.engine import IdentificationEngine
 from repro.core.fit import identify_implementation, identify_receiver
 from repro.harness.scenarios import traced_transfer
 from repro.tcp.catalog import get_behavior
+from repro.trace import columns as trace_columns
 
 from benchmarks.conftest import emit
 
@@ -91,7 +92,26 @@ def test_identification_engine_equivalence_and_speedup(big_transfer):
 
     speedup = exhaustive_s / engine_s
     receiver_speedup = exhaustive_r_s / engine_r_s
+
+    # Provenance: record which trace backend actually ran, and measure
+    # the engine's throughput on the other backend too so the JSON
+    # carries a per-backend comparison, not an unverifiable label.
+    backend = trace_columns.active_backend()
+    backend_rates = {backend: round(len(trace) / engine_s)}
+    if backend == "numpy":
+        trace_columns.set_backend("python")
+        try:
+            trace._columns = None
+            _, fallback_s = timed(IdentificationEngine().identify_sender,
+                                  trace)
+        finally:
+            trace_columns.set_backend(None)
+            trace._columns = None
+        backend_rates["python"] = round(len(trace) / fallback_s)
+
     payload = {
+        "backend": backend,
+        "backend_engine_records_per_s": backend_rates,
         "data_size": DATA_SIZE,
         "sender_records": len(trace),
         "receiver_records": len(receiver_trace),
@@ -127,6 +147,9 @@ def test_identification_engine_equivalence_and_speedup(big_transfer):
              f"engine aborted/pruned {aborted} of "
              f"{len(engine_report.fits)} sender candidates; "
              f"rankings byte-identical",
+             f"trace backend: {backend}; engine rec/s by backend: "
+             + ", ".join(f"{name} {rate:,}"
+                         for name, rate in backend_rates.items()),
              f"result file: {RESULT_FILE}",
          ])
     assert speedup >= MIN_SPEEDUP, (

@@ -108,9 +108,24 @@ def calibrate_trace(trace: Trace, behavior: TCPBehavior | None = None,
     # trace from here on, as tcpanaly does (it discards later copies).
     cleaned = remove_duplicates(trace, report.duplicates)
     shared = sender_analysis if cleaned is trace else None
+    # The behavior-dependent checks at the sender's vantage (window
+    # violation, window-then-ack resequencing) both need the same
+    # sender replay of the cleaned trace: compute it once here rather
+    # than letting each check replay independently.
+    from repro.core.vantage import infer_vantage
+    vantage = infer_vantage(cleaned)
+    if shared is None and behavior is not None and vantage == "sender" \
+            and cleaned.records:
+        from repro.core.sender.analyzer import TraceUnusable, analyze_sender
+        try:
+            shared = analyze_sender(cleaned, behavior)
+        except (TraceUnusable, ValueError):
+            shared = None
     report.resequencing = detect_resequencing(cleaned, behavior,
+                                              vantage=vantage,
                                               sender_analysis=shared)
     report.drop_evidence = run_drop_checks(cleaned, behavior,
+                                           vantage=vantage,
                                            sender_analysis=shared)
     if peer_trace is not None:
         report.pair_analysis = analyze_trace_pair(cleaned, peer_trace)

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.trace.columns import numpy_module
 from repro.trace.record import Trace, TraceRecord
 from repro.units import seq_diff
 
@@ -76,6 +77,11 @@ def detect_duplicates(trace: Trace, vantage: str | None = None,
     except ValueError:
         return []
     outbound_flow = flow if vantage == "sender" else flow.reversed()
+    columns = trace.columns()
+    if columns.is_vector and \
+            not _has_close_header_repeat(columns,
+                                         columns.flow_id(outbound_flow)):
+        return []
     if behavior is not None and behavior.dup_ack_triggers_flight_retransmit:
         dup_trigger = 1
     elif behavior is not None:
@@ -121,6 +127,34 @@ def detect_duplicates(trace: Trace, vantage: str | None = None,
             claimed.add(j)
             break
     return events
+
+
+def _has_close_header_repeat(columns, fid) -> bool:
+    """Superset screen for the quadratic pair matcher: does *any*
+    header-identical outbound pair sit within DUPLICATE_WINDOW?
+
+    Sorting the flow's records by header key (timestamp last) puts
+    identical headers into runs ordered by time; any qualifying pair
+    implies an adjacent sorted pair within the window.  Provocation
+    analysis only *removes* matches, so no-repeat means no duplicates.
+    """
+    np = numpy_module()
+    idx = columns.indices("flow", fid)    # src/dst constant within a flow
+    if len(idx) < 2:
+        return False
+    ts = columns.timestamp[idx]
+    key_columns = (columns.seq[idx], columns.ack[idx], columns.flags[idx],
+                   columns.payload[idx], columns.window[idx],
+                   columns.mss_option[idx])
+    order = np.lexsort((ts,) + key_columns)
+    same = np.ones(len(idx) - 1, dtype=bool)
+    for column in key_columns:
+        in_order = column[order]
+        same &= in_order[1:] == in_order[:-1]
+    ts_in_order = ts[order]
+    return bool(np.any(same
+                       & (ts_in_order[1:] - ts_in_order[:-1]
+                          <= DUPLICATE_WINDOW)))
 
 
 def remove_duplicates(trace: Trace,

@@ -26,6 +26,15 @@ inappropriate time or failing to send at an appropriate one:
     receiver-side trace never shows arriving.
 8.  ``retransmission_of_unseen`` — a retransmitted segment whose
     original transmission never appears in the trace.
+
+With the columnar backend each check first runs a vectorized *screen*
+over the arrays.  For checks whose per-record state is a plain running
+maximum (1, 2, 5, 6, 8) the screen is exact — it finds evidence iff
+the loop would — so the original loop (which builds the evidence
+objects) only runs when there is evidence to report, which calibrated
+traces almost never have.  Check 4's screen is a conservative superset
+(any retransmission at all); check 7's receiver-side contiguity merge
+has no cheap vector bound and keeps its loop unconditionally.
 """
 
 from __future__ import annotations
@@ -33,8 +42,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.tcp.params import TCPBehavior
+from repro.trace.columns import numpy_module
 from repro.trace.record import Trace, TraceRecord
 from repro.units import seq_diff, seq_gt, seq_le, seq_lt
+
+#: Sentinel for "no sequence value yet" in screen running maxima —
+#: far below any unwrapped sequence number.
+_FLOOR = -(2**62)
 
 
 @dataclass(frozen=True)
@@ -92,6 +106,9 @@ def run_drop_checks(trace: Trace,
 
 def check_ack_for_unseen_data(trace: Trace, flow) -> list[DropEvidence]:
     """Check 1: acks acknowledging data the trace never recorded."""
+    columns = trace.columns()
+    if columns.is_vector and not _screen_ack_for_unseen(columns, flow):
+        return []
     evidence = []
     highest_sent = None
     for record in trace:
@@ -112,6 +129,9 @@ def check_ack_for_unseen_data(trace: Trace, flow) -> list[DropEvidence]:
 
 def check_sequence_gap(trace: Trace, flow) -> list[DropEvidence]:
     """Check 2: the data stream skips never-before-sent sequence space."""
+    columns = trace.columns()
+    if columns.is_vector and not _screen_sequence_gap(columns, flow):
+        return []
     evidence = []
     highest_sent = None
     for record in trace:
@@ -130,6 +150,9 @@ def check_sequence_gap(trace: Trace, flow) -> list[DropEvidence]:
 
 def check_ack_regression(trace: Trace, flow) -> list[DropEvidence]:
     """Check 5: cumulative acknowledgements are monotone."""
+    columns = trace.columns()
+    if columns.is_vector and not _screen_ack_regression(columns, flow):
+        return []
     evidence = []
     highest_ack = None
     reverse = flow.reversed()
@@ -155,6 +178,9 @@ def check_dup_acks_without_cause(trace: Trace, flow) -> list[DropEvidence]:
     only meaningful for receiver-side traces; it keys on whether the
     trace shows any data *arriving* at the acking endpoint.
     """
+    columns = trace.columns()
+    if columns.is_vector and not _screen_dup_acks(columns, flow):
+        return []
     evidence = []
     reverse = flow.reversed()
     arrivals_since_ack = 0
@@ -216,6 +242,10 @@ def check_retransmission_of_unseen(trace: Trace, flow) -> list[DropEvidence]:
     A retransmission is identifiable as data below the highest sent
     sequence; its start must match some earlier record's start.
     """
+    columns = trace.columns()
+    if columns.is_vector and not _screen_retransmission_of_unseen(columns,
+                                                                  flow):
+        return []
     evidence = []
     highest_sent = None
     starts_seen: set[int] = set()
@@ -232,6 +262,145 @@ def check_retransmission_of_unseen(trace: Trace, flow) -> list[DropEvidence]:
         if highest_sent is None or seq_gt(record.seq_end, highest_sent):
             highest_sent = record.seq_end
     return evidence
+
+
+# ---------------------------------------------------------------------------
+# Columnar screens.  Each answers "could the corresponding loop find any
+# evidence?" from the arrays alone.  Sequence values are unwrapped
+# relative to the first relevant record (``columns.rel``), under the
+# same <2**31-span assumption the modular helpers make.
+# ---------------------------------------------------------------------------
+
+
+def _screen_ack_for_unseen(columns, flow) -> bool:
+    """Exact vector form of check 1's running maximum.
+
+    ``highest_sent`` is a running max over sent-segment ends and
+    evidence-resync acks; non-evidence acks never exceed it, so a
+    running max over *all* post-first-send contributions is identical
+    state, and evidence exists iff some ack strictly exceeds the
+    maximum of everything before it.
+    """
+    np = numpy_module()
+    fid = columns.flow_id(flow)
+    rid = columns.reverse_id(fid)
+    ids = columns.flow_ids
+    sent = (ids == fid) & (columns.is_data | columns.is_syn | columns.is_fin)
+    if rid < 0 or not sent.any():
+        return False
+    ackr = (ids == rid) & columns.has_ack & ~columns.is_syn
+    if not ackr.any():
+        return False
+    base = int(columns.seq[int(np.flatnonzero(sent)[0])])
+    floor = np.int64(_FLOOR)
+    contrib = np.full(columns.n, floor)
+    contrib[sent] = columns.rel(columns.seq_end[sent], base)
+    seen = np.cumsum(sent) > 0
+    sent_before = np.concatenate(([False], seen[:-1]))
+    live_ack = ackr & sent_before       # acks before any send never count
+    contrib[live_ack] = columns.rel(columns.ack[live_ack], base)
+    running = np.maximum.accumulate(contrib)
+    running_excl = np.concatenate(([floor], running[:-1]))
+    return bool(np.any(live_ack
+                       & (columns.rel(columns.ack, base) > running_excl)))
+
+
+def _screen_sequence_gap(columns, flow) -> bool:
+    """Exact vector form of check 2: data start above the prior max end."""
+    np = numpy_module()
+    idx = columns.indices("data", columns.flow_id(flow))
+    if len(idx) < 2:
+        return False
+    base = int(columns.seq[int(idx[0])])
+    seq = columns.rel(columns.seq[idx], base)
+    end = columns.rel(columns.seq_end[idx], base)
+    running = np.maximum.accumulate(end)
+    return bool(np.any(seq[1:] > running[:-1]))
+
+
+def _screen_ack_regression(columns, flow) -> bool:
+    """Exact vector form of check 5: an ack below the prior ack max."""
+    np = numpy_module()
+    fid = columns.flow_id(flow)
+    rid = columns.reverse_id(fid)
+    if rid < 0:
+        return False
+    ids = columns.flow_ids
+    idx = np.flatnonzero((ids == rid) & columns.has_ack & ~columns.is_syn)
+    if idx.size < 2:
+        return False
+    ack = columns.rel(columns.ack[idx], int(columns.ack[int(idx[0])]))
+    running = np.maximum.accumulate(ack)
+    return bool(np.any(ack[1:] < running[:-1]))
+
+
+def _screen_dup_acks(columns, flow) -> bool:
+    """Exact vector form of check 6 over the event subsequence.
+
+    ``arrivals_since_ack == 0`` with ``last_ack`` set means the
+    previous *event* (arrival or ack) was an ack, so a candidate is an
+    ack event whose immediate predecessor event is an ack with the
+    same value, after at least one arrival, zero-payload and not FIN.
+    """
+    np = numpy_module()
+    fid = columns.flow_id(flow)
+    rid = columns.reverse_id(fid)
+    if rid < 0:
+        return False
+    ids = columns.flow_ids
+    arrival = (ids == fid) & (columns.is_data | columns.is_fin)
+    ackm = (ids == rid) & columns.has_ack & ~columns.is_syn
+    events = np.flatnonzero(arrival | ackm)
+    if events.size < 3 or not arrival.any():
+        return False
+    is_ack_event = ackm[events]
+    ack_values = columns.ack[events]
+    prev_is_ack = np.concatenate(([False], is_ack_event[:-1]))
+    prev_ack = np.concatenate(([np.int64(-1)], ack_values[:-1]))
+    arrivals = np.cumsum(~is_ack_event)
+    arrival_before = np.concatenate(([False], arrivals[:-1] > 0))
+    return bool(np.any(is_ack_event & prev_is_ack & arrival_before
+                       & (ack_values == prev_ack)
+                       & (columns.payload[events] == 0)
+                       & ~columns.is_fin[events]))
+
+
+def _screen_retransmission_of_unseen(columns, flow) -> bool:
+    """Exact vector form of check 8: a first-occurrence start below the
+    prior max end is a retransmission whose original is unrecorded."""
+    np = numpy_module()
+    idx = columns.indices("data", columns.flow_id(flow))
+    if len(idx) < 2:
+        return False
+    base = int(columns.seq[int(idx[0])])
+    seq = columns.rel(columns.seq[idx], base)
+    end = columns.rel(columns.seq_end[idx], base)
+    running_excl = np.concatenate(([np.int64(_FLOOR)],
+                                   np.maximum.accumulate(end)[:-1]))
+    first_occurrence = np.zeros(len(idx), dtype=bool)
+    first_occurrence[np.unique(seq, return_index=True)[1]] = True
+    return bool(np.any(first_occurrence & (seq < running_excl)))
+
+
+def _screen_fast_retransmit(columns, flow) -> bool:
+    """Conservative screen for check 4: evidence needs at least one
+    retransmitted data segment and some inbound acks."""
+    np = numpy_module()
+    fid = columns.flow_id(flow)
+    rid = columns.reverse_id(fid)
+    if rid < 0:
+        return False
+    ids = columns.flow_ids
+    if not (((ids == rid) & columns.has_ack & ~columns.is_syn).any()):
+        return False
+    idx = columns.indices("data", fid)
+    if len(idx) < 2:
+        return False
+    base = int(columns.seq[int(idx[0])])
+    seq = columns.rel(columns.seq[idx], base)
+    end = columns.rel(columns.seq_end[idx], base)
+    running = np.maximum.accumulate(end)
+    return bool(np.any(seq[1:] < running[:-1]))
 
 
 def check_window_violation(trace: Trace, flow,
@@ -268,6 +437,9 @@ def check_fast_retransmit_without_dups(trace: Trace, flow,
     implementation's threshold, the filter missed acks.
     """
     if not behavior.fast_retransmit:
+        return []
+    columns = trace.columns()
+    if columns.is_vector and not _screen_fast_retransmit(columns, flow):
         return []
     evidence = []
     reverse = flow.reversed()

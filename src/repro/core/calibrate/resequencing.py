@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.tcp.params import TCPBehavior
+from repro.trace.columns import numpy_module
 from repro.trace.record import Trace, TraceRecord
 from repro.units import seq_ge, seq_gt
 
@@ -80,15 +81,8 @@ def detect_lull_then_ack(trace: Trace, flow) -> list[ResequencingEvent]:
     events = []
     records = trace.records
     reverse = flow.reversed()
-    last_send: float | None = None
-    for i, record in enumerate(records):
-        if record.flow != flow or record.payload == 0:
-            continue
-        lulled = last_send is not None and \
-            record.timestamp - last_send > LULL
-        last_send = record.timestamp
-        if not lulled:
-            continue
+    for i in _lulled_data_indices(trace, flow):
+        record = records[i]
         # Was there an inbound advancing ack *just before* that
         # explains the send?  If so, no anomaly.
         explained = any(
@@ -112,6 +106,30 @@ def detect_lull_then_ack(trace: Trace, flow) -> list[ResequencingEvent]:
     return events
 
 
+def _lulled_data_indices(trace: Trace, flow) -> list[int]:
+    """Record indices of the flow's data packets sent after a > LULL
+    gap since the previous data packet — situation (i)'s candidates.
+    Lulls are rare, so finding them vectorially skips the per-record
+    walk for almost every trace."""
+    columns = trace.columns()
+    if columns.is_vector:
+        np = numpy_module()
+        idx = columns.indices("data", columns.flow_id(flow))
+        if len(idx) < 2:
+            return []
+        ts = columns.timestamp[idx]
+        return [int(i) for i in idx[np.flatnonzero(np.diff(ts) > LULL) + 1]]
+    out = []
+    last_send: float | None = None
+    for i, record in enumerate(trace.records):
+        if record.flow != flow or record.payload == 0:
+            continue
+        if last_send is not None and record.timestamp - last_send > LULL:
+            out.append(i)
+        last_send = record.timestamp
+    return out
+
+
 def detect_ack_before_arrival(trace: Trace, flow) -> list[ResequencingEvent]:
     """Situation (iii): an ack for data recorded as arriving later.
 
@@ -119,6 +137,9 @@ def detect_ack_before_arrival(trace: Trace, flow) -> list[ResequencingEvent]:
     the acked data arriving; the outbound ack must never precede the
     arrival it acknowledges.
     """
+    columns = trace.columns()
+    if columns.is_vector and not _screen_ack_before_arrival(columns, flow):
+        return []
     events = []
     records = trace.records
     reverse = flow.reversed()
@@ -147,6 +168,33 @@ def detect_ack_before_arrival(trace: Trace, flow) -> list[ResequencingEvent]:
                     rcv_high = record.ack
                     break
     return events
+
+
+def _screen_ack_before_arrival(columns, flow) -> bool:
+    """Superset screen for situation (iii): candidates are acks above
+    the running max of arrival ends.  The loop's resync only *raises*
+    ``rcv_high``, so the arrival-only running max is a lower bound and
+    every real event is a candidate."""
+    np = numpy_module()
+    fid = columns.flow_id(flow)
+    rid = columns.reverse_id(fid)
+    ids = columns.flow_ids
+    arrival = (ids == fid) & (columns.is_data | columns.is_syn)
+    if rid < 0 or not arrival.any():
+        return False
+    ackm = (ids == rid) & columns.has_ack & ~columns.is_syn
+    if not ackm.any():
+        return False
+    base = int(columns.seq[int(np.flatnonzero(arrival)[0])])
+    floor = np.int64(-(2**62))
+    contrib = np.full(columns.n, floor)
+    contrib[arrival] = columns.rel(columns.seq_end[arrival], base)
+    running = np.maximum.accumulate(contrib)
+    running_excl = np.concatenate(([floor], running[:-1]))
+    arrived_before = np.concatenate(([False],
+                                     (np.cumsum(arrival) > 0)[:-1]))
+    return bool(np.any(ackm & arrived_before
+                       & (columns.rel(columns.ack, base) > running_excl)))
 
 
 def detect_window_then_ack(trace: Trace,

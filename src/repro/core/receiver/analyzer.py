@@ -117,8 +117,17 @@ class ReceiverPassOne:
 
 def extract_receiver_pass_one(trace: Trace,
                               headers_only: bool = False) -> ReceiverPassOne:
-    """Pass one of receiver analysis: facts and the event timeline."""
+    """Pass one of receiver analysis: facts and the event timeline.
+
+    With the numpy trace backend the discard/event scans run as
+    column kernels; the per-record path below is the pure-Python
+    fallback and the equivalence oracle.
+    """
     from repro.core.receiver import corruption
+    columns = trace.columns()
+    if columns.is_vector:
+        return _extract_receiver_pass_one_vector(trace, columns,
+                                                 headers_only)
     flow = trace.primary_flow()           # the data direction (inbound here)
     reverse = flow.reversed()
     syn = next((r for r in trace if r.flow == flow and r.is_syn
@@ -137,6 +146,45 @@ def extract_receiver_pass_one(trace: Trace,
     events = [r for r in trace
               if (r.flow == flow and (r.payload > 0 or r.is_fin))
               or (r.flow == reverse and r.has_ack and not r.is_syn)]
+    return ReceiverPassOne(
+        flow=flow, full_size=full_size, syn_seq=syn.seq, events=events,
+        discarded=discarded, verified_corrupt=verified_corrupt,
+        inferred_corrupt=inferred_corrupt, headers_only=headers_only)
+
+
+def _extract_receiver_pass_one_vector(trace: Trace, columns,
+                                      headers_only: bool) -> ReceiverPassOne:
+    """Column-kernel twin of the :func:`extract_receiver_pass_one` scan."""
+    from repro.core.receiver import corruption
+    from repro.trace.columns import numpy_module
+    np = numpy_module()
+    primary = columns.primary_flow_id()
+    flow = columns.flows[primary]
+    in_flow = columns.flow_ids == primary
+    syn_i = columns.first_index(in_flow & columns.is_syn
+                                & ~columns.has_ack)
+    if syn_i < 0:
+        raise ValueError("trace does not contain the connection SYN")
+    syn = columns.records[syn_i]
+    full_size = syn.mss_option if syn.mss_option is not None else 536
+    verified_corrupt: list[TraceRecord] = []
+    inferred_corrupt: list[TraceRecord] = []
+    if headers_only:
+        # Discard inference walks forward from each arrival until the
+        # next covering ack or retransmission — inherently sequential
+        # and rare (header-only captures only); the loop stays.
+        inferred_corrupt = corruption.inferred_discards(trace, flow)
+        discarded = frozenset(r.packet_id for r in inferred_corrupt)
+    else:
+        verified_corrupt = columns.records_at(
+            np.flatnonzero(in_flow & columns.corrupted))
+        discarded = frozenset(r.packet_id for r in verified_corrupt)
+    reverse_fid = columns.reverse_id(primary)
+    event_mask = in_flow & (columns.is_data | columns.is_fin)
+    if reverse_fid >= 0:
+        event_mask = event_mask | ((columns.flow_ids == reverse_fid)
+                                   & columns.has_ack & ~columns.is_syn)
+    events = columns.records_at(np.flatnonzero(event_mask))
     return ReceiverPassOne(
         flow=flow, full_size=full_size, syn_seq=syn.seq, events=events,
         discarded=discarded, verified_corrupt=verified_corrupt,

@@ -186,8 +186,14 @@ def extract_pass_one(trace: Trace) -> SenderPassOne:
     """Pass one: facts plus the data/ack timelines, in a single scan.
 
     Candidate-independent, so identification computes this once and
-    replays every catalog entry against the same result.
+    replays every catalog entry against the same result.  With the
+    numpy trace backend the scan runs as column kernels
+    (:func:`_extract_pass_one_vector`); the per-record loop below is
+    the pure-Python fallback and the equivalence oracle.
     """
+    columns = trace.columns()
+    if columns.is_vector:
+        return _extract_pass_one_vector(trace, columns)
     flow = trace.primary_flow()
     reverse = flow.reversed()
     syn = next((r for r in trace if r.flow == flow and r.is_syn
@@ -247,6 +253,81 @@ def extract_pass_one(trace: Trace) -> SenderPassOne:
         syn_count=max(syn_count, 1),
         early_peak_flight=early_peak_flight)
     return SenderPassOne(facts=facts, data=data, acks=acks)
+
+
+def _extract_pass_one_vector(trace: Trace, columns) -> SenderPassOne:
+    """The column-kernel twin of the :func:`extract_pass_one` loop.
+
+    Sequence arithmetic runs on int64 values unwrapped around the ISS
+    (``columns.rel``), where running maxima reproduce the modular
+    ``seq_gt`` chain exactly for any trace spanning < 2**31 bytes of
+    sequence space — the same window the modular helpers assume.
+    """
+    from repro.trace.columns import numpy_module
+    np = numpy_module()
+    primary = columns.primary_flow_id()
+    in_primary = columns.flow_ids == primary
+    syn_i = columns.first_index(in_primary & columns.is_syn
+                                & ~columns.has_ack)
+    reverse_fid = columns.reverse_id(primary)
+    synack_i = -1
+    if reverse_fid >= 0:
+        reverse_ack = ((columns.flow_ids == reverse_fid)
+                       & columns.has_ack)
+        synack_i = columns.first_index(reverse_ack & columns.is_syn)
+    if syn_i < 0 or synack_i < 0:
+        raise TraceUnusable("trace does not contain the SYN handshake")
+    syn = columns.records[syn_i]
+    synack = columns.records[synack_i]
+
+    offered_mss = syn.mss_option if syn.mss_option is not None else 536
+    peer_offered = synack.mss_option is not None
+    negotiated = min(offered_mss,
+                     synack.mss_option if peer_offered else 536)
+    synack_time = synack.timestamp
+
+    base = syn.seq
+    data_mask = in_primary & columns.is_data
+    data_idx = np.flatnonzero(data_mask)
+    max_in_flight = 0
+    early_peak_flight = 0
+    total_data = 0
+    if data_idx.size:
+        rel_end = columns.rel(columns.seq_end[data_idx], base)
+        # Running highest_sent over data packets, floored at iss+1.
+        highest_sent = np.maximum(np.maximum.accumulate(rel_end), 1)
+        total_data = int(highest_sent[-1] - 1)
+        # Running highest_ack *before* each record: reverse-direction
+        # ack values contribute at their own index, so an exclusive
+        # prefix maximum (floored at iss+1) gives the value the loop
+        # holds when it reaches any given row.
+        contributions = np.full(columns.n, np.int64(-2**62))
+        ack_rows = np.flatnonzero(reverse_ack)
+        contributions[ack_rows] = columns.rel(columns.ack[ack_rows], base)
+        highest_ack_before = np.maximum.accumulate(
+            np.concatenate((np.ones(1, dtype=np.int64),
+                            contributions[:-1])))
+        in_flight = highest_sent - highest_ack_before[data_idx]
+        max_in_flight = max(0, int(in_flight.max()))
+        early_peak_flight = max(0, int(in_flight[:EARLY_RAMP_PACKETS].max()))
+    syn_count = int(np.count_nonzero(in_primary & columns.is_syn
+                                     & ~columns.has_ack))
+    fin_seen = bool(np.any(in_primary & columns.is_fin))
+    ack_idx = np.flatnonzero(reverse_ack & ~columns.is_syn
+                             & (columns.timestamp >= synack_time))
+    facts = ConnectionFacts(
+        flow=columns.flows[primary], iss=syn.seq, irs=synack.seq,
+        offered_mss=offered_mss, negotiated_mss=negotiated,
+        peer_offered_mss_option=peer_offered, synack_time=synack_time,
+        initial_offered_window=synack.window,
+        max_in_flight=max_in_flight, total_data=total_data,
+        data_count=int(data_idx.size), fin_seen=fin_seen,
+        offered_mss_option=syn.mss_option is not None,
+        syn_count=max(syn_count, 1),
+        early_peak_flight=early_peak_flight)
+    return SenderPassOne(facts=facts,
+                         data=columns.records_at(data_idx),
+                         acks=columns.records_at(ack_idx))
 
 
 def extract_facts(trace: Trace) -> ConnectionFacts:

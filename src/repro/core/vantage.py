@@ -32,6 +32,22 @@ def infer_vantage(trace: Trace) -> str:
         return "sender"
     reverse = flow.reversed()
 
+    columns = trace.columns()
+    if columns.is_vector:
+        from repro.trace.columns import numpy_module
+        np = numpy_module()
+        ids = columns.flow_ids
+        fid = columns.flow_id(flow)
+        inbound_ack = (ids == columns.reverse_id(fid)) & columns.has_ack
+        outbound_data = (ids == fid) & columns.is_data
+        gap = np.diff(columns.timestamp)
+        local = (gap >= 0) & (gap <= LOCAL_RESPONSE)
+        ack_to_data = int(np.count_nonzero(
+            local & inbound_ack[:-1] & outbound_data[1:]))
+        data_to_ack = int(np.count_nonzero(
+            local & outbound_data[:-1] & inbound_ack[1:]))
+        return "sender" if ack_to_data >= data_to_ack else "receiver"
+
     ack_to_data = 0
     data_to_ack = 0
     records = trace.records

@@ -39,12 +39,22 @@ from repro.trace.pcap import (
     PCAP_MAGIC_SWAPPED,
 )
 from repro.trace.record import TraceRecord
-from repro.trace.wire import AddressMap, PacketDecodeError, decode_packet
+from repro.trace.wire import (
+    AddressMap,
+    PacketDecodeError,
+    decode_packet,
+    decode_packet_batch,
+)
 
 ETHERNET_HEADER_LEN = 14
 
 GLOBAL_HEADER_LEN = 24
 RECORD_HEADER_LEN = 16
+
+#: How much pending capture a poll reads and batch-decodes at a time.
+#: Bounds memory for multi-GB captures while amortizing the per-call
+#: overhead of the vectorized decoder.
+CHUNK_BYTES = 4 << 20
 
 
 @dataclass(frozen=True)
@@ -158,32 +168,107 @@ class IncrementalPcapReader:
         return True
 
     def poll(self) -> Iterator[TraceRecord]:
-        """Yield every record now fully on disk; hold partials back."""
+        """Yield every record now fully on disk; hold partials back.
+
+        Records are read and decoded a chunk at a time (so the numpy
+        backend can decode whole batches vectorially), but the resume
+        offset and stats commit per record, *before* that record's
+        yield — abandoning the generator mid-chunk leaves the reader
+        positioned exactly after the last record handed out, the same
+        contract the one-record-at-a-time loop provided.
+        """
         if self._finalized:
             raise ValueError(f"{self.path}: reader already finalized")
         if not self._ensure_header():
             return
         stats = self.stats
         handle = self._handle
+        endian = self.header.endian
         while True:
             handle.seek(self._offset)
-            record_header = handle.read(RECORD_HEADER_LEN)
-            if len(record_header) < RECORD_HEADER_LEN:
-                return            # header incomplete: retry next poll
-            seconds, micros, incl_len, orig_len = struct.unpack(
-                self.header.endian + "IIII", record_header)
-            data = handle.read(incl_len)
-            if len(data) < incl_len:
-                return            # payload incomplete: retry next poll
-            self._offset += RECORD_HEADER_LEN + incl_len
-            self._index += 1
-            stats.packets_seen += 1
-            stats.bytes_seen += len(data)
-            record = self._decode(data, seconds, micros,
-                                  truncated=incl_len < orig_len,
-                                  short=False)
-            if record is not None:
-                yield record
+            blob = handle.read(CHUNK_BYTES)
+            # Walk every complete record in the chunk without
+            # committing anything yet.
+            position = 0
+            metas: list[tuple[int, int, int]] = []
+            packets: list[bytes] = []
+            timestamps: list[float] = []
+            verify: list[bool] = []
+            while position + RECORD_HEADER_LEN <= len(blob):
+                seconds, micros, incl_len, orig_len = struct.unpack_from(
+                    endian + "IIII", blob, position)
+                if position + RECORD_HEADER_LEN + incl_len > len(blob):
+                    break         # record incomplete within this chunk
+                data = blob[position + RECORD_HEADER_LEN:
+                            position + RECORD_HEADER_LEN + incl_len]
+                position += RECORD_HEADER_LEN + incl_len
+                metas.append((incl_len, seconds, micros))
+                packets.append(data[self._strip:])
+                timestamps.append(seconds + micros / 1e6)
+                verify.append(incl_len >= orig_len)
+            if not metas:
+                if len(blob) >= CHUNK_BYTES:
+                    # One record larger than a whole chunk: take the
+                    # unbatched path for it, then resume chunking.
+                    if self._poll_one_oversized(handle, endian) is None:
+                        return
+                    record = self._pending_record
+                    self._pending_record = None
+                    if record is not None:
+                        yield record
+                    continue
+                return            # partial tail: retry next poll
+            decoded = decode_packet_batch(packets, timestamps,
+                                          self.addresses, verify)
+            for k, (incl_len, _seconds, _micros) in enumerate(metas):
+                self._offset += RECORD_HEADER_LEN + incl_len
+                self._index += 1
+                stats.packets_seen += 1
+                stats.bytes_seen += incl_len
+                outcome = decoded[k]
+                if isinstance(outcome, PacketDecodeError):
+                    if outcome.kind == "non-tcp":
+                        stats.non_tcp_packets += 1
+                        stats.warn("non-tcp", str(outcome), self._index)
+                    else:
+                        stats.decode_errors += 1
+                        stats.warn("decode-error", str(outcome), self._index)
+                    continue
+                stats.records_decoded += 1
+                yield outcome
+            if len(blob) < CHUNK_BYTES:
+                return            # consumed all bytes on disk at read time
+
+    #: Scratch slot for the oversized-record path (set by
+    #: :meth:`_poll_one_oversized`, consumed by :meth:`poll`).
+    _pending_record: TraceRecord | None = None
+
+    def _poll_one_oversized(self, handle, endian) -> bool | None:
+        """Read and commit a single record the pre-chunking way.
+
+        Returns None when the record is still incomplete on disk (the
+        poll should stop and retry later); otherwise commits offset
+        and stats, leaves any decoded record in ``_pending_record``,
+        and returns True.
+        """
+        stats = self.stats
+        handle.seek(self._offset)
+        record_header = handle.read(RECORD_HEADER_LEN)
+        if len(record_header) < RECORD_HEADER_LEN:
+            return None
+        seconds, micros, incl_len, orig_len = struct.unpack(
+            endian + "IIII", record_header)
+        data = handle.read(incl_len)
+        if len(data) < incl_len:
+            return None
+        self._offset += RECORD_HEADER_LEN + incl_len
+        self._index += 1
+        stats.packets_seen += 1
+        stats.bytes_seen += len(data)
+        self._pending_record = self._decode(data, seconds, micros,
+                                            truncated=incl_len < orig_len,
+                                            short=False)
+        return True
 
     def finalize(self) -> Iterator[TraceRecord]:
         """Declare end-of-capture; apply truncated-trailer semantics.

@@ -116,6 +116,15 @@ class Trace:
     vantage: str = ""
     filter_name: str = ""
     reported_drops: int | None = None
+    #: Lazily-built columnar view (:mod:`repro.trace.columns`); the
+    #: flow-partition accessors below memoize their scans through it.
+    _columns: object = field(default=None, init=False, repr=False,
+                             compare=False)
+
+    def columns(self):
+        """The columnar view of this trace (built once, cached)."""
+        from repro.trace.columns import columns_of
+        return columns_of(self)
 
     def __len__(self) -> int:
         return len(self.records)
@@ -131,32 +140,29 @@ class Trace:
         return self.records[0].timestamp if self.records else 0.0
 
     def flows(self) -> set[FlowKey]:
-        return {r.flow for r in self.records}
+        return set(self.columns().flows)
 
     def primary_flow(self) -> FlowKey:
         """The data-carrying direction: the flow sending the most bytes.
 
         Falls back to the SYN sender's flow for data-less traces.
         """
-        if not self.records:
-            raise ValueError("empty trace has no flows")
-        volumes: dict[FlowKey, int] = {}
-        for record in self.records:
-            volumes[record.flow] = volumes.get(record.flow, 0) + record.payload
-        best = max(volumes, key=lambda k: volumes[k])
-        if volumes[best] > 0:
-            return best
-        for record in self.records:
-            if record.is_syn and not record.has_ack:
-                return record.flow
-        return self.records[0].flow
+        return self.columns().primary_flow()
 
     def in_flow(self, flow: FlowKey) -> list[TraceRecord]:
-        return [r for r in self.records if r.flow == flow]
+        columns = self.columns()
+        fid = columns.flow_id(flow)
+        if fid < 0:
+            return []
+        return columns.records_at(columns.indices("flow", fid))
 
     def data_packets(self, flow: FlowKey | None = None) -> list[TraceRecord]:
-        flow = flow or self.primary_flow()
-        return [r for r in self.records if r.flow == flow and r.payload > 0]
+        columns = self.columns()
+        fid = (columns.primary_flow_id() if flow is None
+               else columns.flow_id(flow))
+        if fid < 0:
+            return []
+        return columns.records_at(columns.indices("data", fid))
 
     def acks(self, flow: FlowKey | None = None) -> list[TraceRecord]:
         """Pure acks flowing *against* the primary (data) direction.
@@ -164,13 +170,16 @@ class Trace:
         SYN-acks are handshake packets and RSTs are aborts — neither
         acknowledges data, so neither belongs in ack-policy or
         receiver analysis even when the segment carries the ACK bit
-        (a pure RST+ACK does).
+        (a pure RST+ACK does).  Replay loops call these accessors per
+        candidate, so the index slices are memoized on the columnar
+        view rather than re-scanning the record list each call.
         """
-        flow = flow or self.primary_flow()
-        reverse = flow.reversed()
-        return [r for r in self.records
-                if r.flow == reverse and r.has_ack and r.payload == 0
-                and not r.is_syn and not r.is_rst]
+        columns = self.columns()
+        fid = (columns.primary_flow_id() if flow is None
+               else columns.flow_id(flow))
+        if fid < 0:
+            return []
+        return columns.records_at(columns.indices("acks", fid))
 
     def filtered(self, predicate: Callable[[TraceRecord], bool]) -> "Trace":
         return Trace(records=[r for r in self.records if predicate(r)],

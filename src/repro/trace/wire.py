@@ -227,3 +227,167 @@ def decode_packet(data: bytes, timestamp: float,
         seq=seq, ack=ack, flags=flags, payload=max(payload_len, 0),
         window=window, mss_option=mss_option, corrupted=corrupted,
         packet_id=packet_id)
+
+
+def decode_packet_batch(packets: list[bytes], timestamps: list[float],
+                        addresses: AddressMap | None = None,
+                        verify_checksums: list[bool] | None = None
+                        ) -> list:
+    """Decode many raw packets at once; vectorized where possible.
+
+    Returns one entry per input packet: a :class:`TraceRecord`, or the
+    :class:`PacketDecodeError` :func:`decode_packet` would have raised.
+    With the numpy backend active, "simple" packets — IPv4 without IP
+    options, TCP, header fully captured, option area empty or exactly
+    one MSS option — have their header fields gathered and checksums
+    summed across the whole batch in array operations; every other
+    packet (IP options, exotic TCP options, odd-length segments with
+    link trailers, anything malformed) takes the per-packet path, so
+    results including error kinds and messages are identical to
+    calling :func:`decode_packet` in a loop.
+    """
+    n = len(packets)
+    if verify_checksums is None:
+        verify_checksums = [True] * n
+    results: list = [None] * n
+    from repro.trace.columns import active_backend, numpy_module
+    simple_rows: "list[int]" = []
+    if n >= 16 and active_backend() == "numpy":
+        simple_rows = _decode_simple_rows(packets, timestamps, addresses,
+                                          verify_checksums, results,
+                                          numpy_module())
+    remaining = (range(n) if not simple_rows
+                 else sorted(set(range(n)) - set(simple_rows)))
+    for i in remaining:
+        try:
+            results[i] = decode_packet(packets[i], timestamps[i], addresses,
+                                       verify_checksums[i])
+        except PacketDecodeError as error:
+            results[i] = error
+    return results
+
+
+def _decode_simple_rows(packets, timestamps, addresses, verify_checksums,
+                        results, np) -> list:
+    """Vectorized decode of the simple packets; fills *results* in
+    place and returns the row indexes it handled."""
+    n = len(packets)
+    lens = np.fromiter((len(p) for p in packets), dtype=np.int64, count=n)
+    # Concatenate with per-packet padding to even length, so every
+    # packet starts on a 16-bit word boundary and an odd TCP segment's
+    # checksum pad byte is the zero RFC 1071 specifies.
+    buffer = b"".join(p if len(p) % 2 == 0 else p + b"\x00"
+                      for p in packets)
+    starts = np.concatenate((np.zeros(1, dtype=np.int64),
+                             np.cumsum(lens + (lens & 1))[:-1]))
+    octets = np.frombuffer(buffer, dtype=np.uint8)
+    word_sums = np.concatenate((
+        np.zeros(1, dtype=np.int64),
+        np.cumsum(np.frombuffer(buffer, dtype=">u2"), dtype=np.int64)))
+
+    candidate = np.flatnonzero(lens >= IP_HEADER_LEN + TCP_HEADER_LEN)
+    if candidate.size == 0:
+        return []
+    s = starts[candidate]
+    clens = lens[candidate]
+
+    def gather(offsets) -> "np.ndarray":
+        # Fancy-gather one header byte per packet, widened so shifts
+        # cannot overflow uint8.
+        return octets[offsets].astype(np.int64)
+
+    version_ihl = gather(s)
+    total_len = (gather(s + 2) << 8) | gather(s + 3)
+    packet_id = (gather(s + 4) << 8) | gather(s + 5)
+    simple = ((version_ihl == 0x45)             # IPv4, no IP options
+              & (gather(s + 9) == PROTO_TCP)
+              & (total_len >= IP_HEADER_LEN))
+    tcp_end = np.minimum(clens, total_len)
+    tcp_len = tcp_end - IP_HEADER_LEN
+    simple &= tcp_len >= TCP_HEADER_LEN
+
+    t = s + IP_HEADER_LEN
+    src_port = (gather(t) << 8) | gather(t + 1)
+    dst_port = (gather(t + 2) << 8) | gather(t + 3)
+    seq = ((gather(t + 4) << 24) | (gather(t + 5) << 16)
+           | (gather(t + 6) << 8) | gather(t + 7))
+    ack = ((gather(t + 8) << 24) | (gather(t + 9) << 16)
+           | (gather(t + 10) << 8) | gather(t + 11))
+    flags = gather(t + 13)
+    window = (gather(t + 14) << 8) | gather(t + 15)
+    header_len = (gather(t + 12) >> 4) * 4
+    simple &= ((header_len == TCP_HEADER_LEN)
+               | (header_len == TCP_HEADER_LEN + 4))
+    simple &= tcp_len >= header_len
+
+    # The only 4-byte option area decoded vectorially is an exact MSS
+    # option; anything else falls back to the per-packet option walk.
+    mss = np.full(candidate.size, -1, dtype=np.int64)
+    with_options = np.flatnonzero(simple & (header_len == TCP_HEADER_LEN + 4))
+    if with_options.size:
+        o = t[with_options] + TCP_HEADER_LEN
+        is_mss = (octets[o] == 2) & (octets[o + 1] == 4)
+        simple[with_options] &= is_mss
+        mss[with_options[is_mss]] = ((gather(o[is_mss] + 2) << 8)
+                                     | gather(o[is_mss] + 3))
+
+    truncated = clens < total_len
+    verify = (np.fromiter((verify_checksums[i] for i in candidate),
+                          dtype=bool, count=candidate.size)
+              & ~truncated)
+    # An odd TCP segment followed by link-trailer bytes would checksum
+    # over the trailer's first byte instead of a zero pad: per-packet.
+    simple &= ~(verify & (tcp_len % 2 == 1) & (tcp_end < clens))
+
+    corrupted = np.zeros(candidate.size, dtype=bool)
+    check_rows = np.flatnonzero(simple & verify)
+    if check_rows.size:
+        cs = s[check_rows]
+        clen = tcp_len[check_rows]
+        first = (cs + IP_HEADER_LEN) >> 1
+        last = (cs + IP_HEADER_LEN + clen + (clen & 1)) >> 1
+        segment_sum = word_sums[last] - word_sums[first]
+        pseudo_sum = (word_sums[(cs + 20) >> 1] - word_sums[(cs + 12) >> 1]
+                      + PROTO_TCP + clen)
+        total = segment_sum + pseudo_sum
+        for _ in range(3):                    # fold carries (RFC 1071)
+            total = (total & 0xFFFF) + (total >> 16)
+        corrupted[check_rows] = total != 0xFFFF
+
+    src_ip = ((gather(s + 12) << 24) | (gather(s + 13) << 16)
+              | (gather(s + 14) << 8) | gather(s + 15))
+    dst_ip = ((gather(s + 16) << 24) | (gather(s + 17) << 16)
+              | (gather(s + 18) << 8) | gather(s + 19))
+    payload = np.maximum(total_len - IP_HEADER_LEN - header_len, 0)
+
+    endpoint_cache: dict = {}
+
+    def endpoint(ip: int, port: int) -> Endpoint:
+        key = (ip, port)
+        cached = endpoint_cache.get(key)
+        if cached is None:
+            text = f"{ip >> 24 & 255}.{ip >> 16 & 255}.{ip >> 8 & 255}.{ip & 255}"
+            name = addresses.name_for(text) if addresses is not None else text
+            cached = Endpoint(name, port)
+            endpoint_cache[key] = cached
+        return cached
+
+    # Build the records from plain Python lists: converting whole
+    # columns once is far cheaper than per-element numpy scalar reads.
+    rows = np.flatnonzero(simple)
+    handled = candidate[rows].tolist()
+    for (i, sip, sport, dip, dport, rseq, rack, rflags, rpayload,
+         rwindow, rmss, rcorrupt, rid) in zip(
+            handled, src_ip[rows].tolist(), src_port[rows].tolist(),
+            dst_ip[rows].tolist(), dst_port[rows].tolist(),
+            seq[rows].tolist(), ack[rows].tolist(), flags[rows].tolist(),
+            payload[rows].tolist(), window[rows].tolist(),
+            mss[rows].tolist(), corrupted[rows].tolist(),
+            packet_id[rows].tolist()):
+        results[i] = TraceRecord(
+            timestamp=timestamps[i],
+            src=endpoint(sip, sport), dst=endpoint(dip, dport),
+            seq=rseq, ack=rack, flags=rflags, payload=rpayload,
+            window=rwindow, mss_option=None if rmss < 0 else rmss,
+            corrupted=rcorrupt, packet_id=rid)
+    return handled

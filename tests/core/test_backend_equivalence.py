@@ -1,0 +1,120 @@
+"""Cross-backend equivalence: numpy columnar vs pure-Python.
+
+The numpy backend (:mod:`repro.trace.columns`) is a performance
+accelerator, never a behavioral variant: every analysis result must be
+byte-identical whichever backend is selected.  These tests drive the
+same traces through both backends and compare full
+``TraceReport.to_dict()`` payloads (serialized with sorted keys, so
+any divergence — a missing drop-evidence item, a different quarantine
+kind, a reordered fit — fails loudly).
+
+When numpy is not installed the comparison tests skip: there is only
+one backend to run.  The forced-Python test still runs everywhere, so
+the no-numpy CI leg exercises this module meaningfully.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.report import analyze_trace
+from repro.fuzz import iter_plans, run_scenario
+from repro.harness.scenarios import traced_transfer
+from repro.tcp.catalog import get_behavior
+from repro.trace import columns as trace_columns
+
+requires_numpy = pytest.mark.skipif(
+    not trace_columns.numpy_available(),
+    reason="numpy not installed; only the pure-Python backend exists")
+
+GOLDEN_CASES = [
+    ("reno", "wan", 20480, 0),
+    ("tahoe", "wan-lossy", 20480, 1),
+    ("net3", "lan", 10240, 0),
+]
+
+
+def on_backend(backend, function):
+    """Run *function* with the trace backend forced to *backend*."""
+    trace_columns.set_backend(backend)
+    try:
+        assert trace_columns.active_backend() == backend
+        return function()
+    finally:
+        trace_columns.set_backend(None)
+
+
+def report_dict(label, scenario, size, seed, identify):
+    """Build the transfer and analyze it under the current backend.
+
+    The transfer is rebuilt from scratch so pass-one, calibration and
+    identification all run on columns produced by the backend under
+    test rather than on a cached view.
+    """
+    behavior = get_behavior(label)
+    transfer = traced_transfer(behavior, scenario, data_size=size,
+                               seed=seed)
+    report = analyze_trace(transfer.sender_trace, behavior,
+                           peer_trace=transfer.receiver_trace,
+                           identify=identify)
+    return json.dumps(report.to_dict(), sort_keys=True)
+
+
+@requires_numpy
+@pytest.mark.parametrize("case", GOLDEN_CASES,
+                         ids=["-".join(str(part) for part in c)
+                              for c in GOLDEN_CASES])
+def test_golden_trace_reports_identical(case):
+    identify = case[0] == "reno"  # one full-identification case is enough
+    python = on_backend("python", lambda: report_dict(*case, identify))
+    numpy = on_backend("numpy", lambda: report_dict(*case, identify))
+    assert python == numpy
+
+
+@requires_numpy
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**16))
+def test_random_transfer_reports_identical(seed):
+    case = ("reno", "wan-lossy", 10240, seed)
+    python = on_backend("python", lambda: report_dict(*case, False))
+    numpy = on_backend("numpy", lambda: report_dict(*case, False))
+    assert python == numpy
+
+
+@requires_numpy
+def test_fuzz_scenarios_identical():
+    """Adversarial inputs (incl. quarantined:<kind> outcomes) agree."""
+
+    def sweep():
+        results = []
+        for plan in iter_plans(base_seed=1789, count=12):
+            outcome = run_scenario(plan)
+            results.append((outcome.outcome, outcome.detail,
+                            outcome.truth_key,
+                            outcome.truth_implementation))
+        return results
+
+    python = on_backend("python", sweep)
+    numpy = on_backend("numpy", sweep)
+    assert python == numpy
+
+
+def test_forced_python_backend_analyzes():
+    """The pure-Python backend stands alone (numpy-free environments)."""
+    payload = on_backend("python",
+                         lambda: report_dict("reno", "wan", 20480, 0, True))
+    parsed = json.loads(payload)
+    assert "calibration" in parsed and "identification" in parsed
+
+
+@requires_numpy
+def test_backends_actually_differ():
+    """Guard: the comparison above compares two distinct code paths."""
+    transfer = traced_transfer(get_behavior("reno"), "lan",
+                               data_size=4096, seed=0)
+    trace = transfer.sender_trace
+    vector = on_backend("numpy", lambda: trace.columns().is_vector)
+    scalar = on_backend("python", lambda: trace.columns().is_vector)
+    assert vector and not scalar

@@ -131,7 +131,10 @@ class TestChaosEquivalenceGate:
             FaultSpec(match=victims["decode-b"], kind="corrupt",
                       corrupt_bytes=b"\x00\x00\x00\x00"),
         ))
-        batch = run_batch(items, jobs=4, timeout=2.0, retries=1,
+        # 5 s is far above any healthy item (~0.2 s analysis + worker
+        # start-up) even on a loaded runner, yet far below the 300 s
+        # injected hang, so exactly the victims quarantine.
+        batch = run_batch(items, jobs=4, timeout=5.0, retries=1,
                           fault_plan=plan)
         return victims, batch
 
