@@ -156,7 +156,27 @@ def main() -> None:
         fail(f"/stats reports no sink lines: {stats['counters']}", proc)
     print(f"serve_smoke: /stats ok — {stats['counters']}")
 
-    # 5. SIGTERM drains cleanly.
+    # 5. The Prometheus endpoint agrees with /stats and reports the
+    # governor healthy.
+    with urllib.request.urlopen(f"{base_url}/metrics", timeout=5) as resp:
+        content_type = resp.headers.get("Content-Type", "")
+        metrics = resp.read().decode()
+    if not content_type.startswith("text/plain"):
+        fail(f"/metrics content type {content_type!r}", proc)
+    sink_total = next(
+        (int(line.split()[-1]) for line in metrics.splitlines()
+         if line.startswith("tcpanaly_serve_sink_lines_total ")), None)
+    if sink_total is None or sink_total < stats["counters"]["sink_lines"]:
+        fail(f"/metrics sink_lines_total {sink_total!r} behind /stats "
+             f"{stats['counters']['sink_lines']}", proc)
+    for needle in ('tcpanaly_serve_health_state{state="healthy"} 1',
+                   "# TYPE tcpanaly_serve_flows_completed_total counter"):
+        if needle not in metrics:
+            fail(f"/metrics missing {needle!r}:\n{metrics}", proc)
+    print(f"serve_smoke: /metrics ok — "
+          f"{len(metrics.splitlines())} exposition lines")
+
+    # 6. SIGTERM drains cleanly.
     proc.send_signal(signal.SIGTERM)
     try:
         stdout, stderr = proc.communicate(timeout=60)

@@ -43,7 +43,9 @@ Subcommands:
 
 ``serve [CAPTURE...] --out DIR [--spool DIR] [--jobs N] [--http PORT]
 [--timeout S] [--retries N] [--high-water N] [--low-water N]
-[--exit-when-idle] [--quiet S]``
+[--exit-when-idle] [--quiet S] [--min-free-bytes N] [--max-rss N]
+[--max-live-flows N] [--breaker-failures N] [--breaker-backoff S]
+[--breaker-trips N] [--on-rotate POLICY] [--fsync]``
     Run the always-on analysis daemon: tail growing captures (and a
     watched spool directory) through live flow demux, analyze retired
     flows on supervised workers sharded by connection, and publish
@@ -55,7 +57,13 @@ Subcommands:
     analysis queue is above the high-water mark.  SIGTERM/SIGINT
     drain gracefully: submitted flows finish and are journaled, open
     flows are left for the restart, which resumes from the journal
-    without reanalyzing or duplicating anything.
+    without reanalyzing or duplicating anything.  Per-source circuit
+    breakers isolate crash-looping captures (exponential backoff,
+    half-open probes, permanent quarantine after ``--breaker-trips``),
+    and resource watchdogs (``--min-free-bytes``, ``--max-rss``,
+    ``--max-live-flows``) drive a graceful-degradation ladder
+    (healthy → degraded → shedding → draining) surfaced on
+    ``/healthz`` and a Prometheus-text ``/metrics`` endpoint.
 
 ``fuzz [--seed S] [--count N] [--reproducers DIR] [--verbose]``
     Run the adversarial scenario fuzzer: N seeded scenarios composing
@@ -86,6 +94,11 @@ from repro.analysis.seqplot import render_ascii_plot, sequence_plot
 from repro.core.fit import identify_implementation
 from repro.core.report import analyze_trace
 from repro.harness.scenarios import SCENARIOS, traced_transfer
+from repro.serve.governor import (
+    DEFAULT_BREAKER_BACKOFF,
+    DEFAULT_BREAKER_FAILURES,
+    DEFAULT_BREAKER_TRIPS,
+)
 from repro.tcp.catalog import CATALOG, get_behavior
 from repro.trace.pcap import read_pcap, write_pcap
 from repro.units import kbyte
@@ -244,7 +257,15 @@ def _command_serve(args: argparse.Namespace) -> int:
         low_water=args.low_water,
         poll_interval=args.poll,
         exit_when_idle=args.exit_when_idle,
-        quiet_seconds=args.quiet)
+        quiet_seconds=args.quiet,
+        min_free_bytes=args.min_free_bytes,
+        max_rss_bytes=args.max_rss,
+        max_live_flows=args.max_live_flows,
+        breaker_failures=args.breaker_failures,
+        breaker_backoff=args.breaker_backoff,
+        breaker_trips=args.breaker_trips,
+        on_rotate=args.on_rotate,
+        fsync=args.fsync)
     daemon = ServeDaemon(config)
 
     def drain(signum, frame) -> None:
@@ -262,10 +283,12 @@ def _command_serve(args: argparse.Namespace) -> int:
           f"({args.jobs} worker(s))", flush=True)
     code = daemon.run()
     counters = daemon.metrics.to_dict()["counters"]
+    health = daemon.metrics.to_dict()["health"]
     print(f"tcpanaly serve: drained — "
           f"{counters['flows_completed']} flow(s) analyzed, "
           f"{counters['sink_lines']} sink line(s), "
-          f"{counters['journal_skips']} resumed from journal",
+          f"{counters['journal_skips']} resumed from journal, "
+          f"exit health {health['state']}",
           flush=True)
     return code
 
@@ -542,6 +565,33 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--quiet", type=float, default=2.0,
                        help="seconds of quiescence that count as idle "
                        "for --exit-when-idle")
+    serve.add_argument("--min-free-bytes", type=int, default=0,
+                       help="disk watchdog: degrade when free space "
+                       "under --out falls below this (0 = off)")
+    serve.add_argument("--max-rss", type=int, default=0,
+                       help="memory watchdog: shed live flows when "
+                       "process RSS exceeds this many bytes (0 = off)")
+    serve.add_argument("--max-live-flows", type=int, default=0,
+                       help="live-flow budget across all sources; "
+                       "oldest flows early-retire beyond it (0 = off)")
+    serve.add_argument("--breaker-failures", type=int,
+                       default=DEFAULT_BREAKER_FAILURES,
+                       help="consecutive worker-fatal results that "
+                       "trip a source's circuit breaker")
+    serve.add_argument("--breaker-backoff", type=float,
+                       default=DEFAULT_BREAKER_BACKOFF,
+                       help="first-trip breaker backoff in seconds "
+                       "(doubles per trip)")
+    serve.add_argument("--breaker-trips", type=int,
+                       default=DEFAULT_BREAKER_TRIPS,
+                       help="breaker trips before a source is "
+                       "quarantined permanently")
+    serve.add_argument("--on-rotate", choices=("quarantine", "restart"),
+                       default="quarantine",
+                       help="policy for a capture rotated/truncated "
+                       "in place")
+    serve.add_argument("--fsync", action="store_true",
+                       help="fsync the result sink after every line")
     serve.set_defaults(handler=_command_serve)
 
     fuzz = sub.add_parser("fuzz",

@@ -25,6 +25,11 @@ stringified exception:
 ``crash``
     The worker process died outright (segfault, OOM-kill, injected
     ``os._exit``) and the retry budget ran out.
+``cancelled``
+    The work was withdrawn before analysis — the serve daemon pulled
+    queued flows of a circuit-breaker-quarantined source back out of
+    the pool.  Always transient: never journaled, never sunk, so a
+    restart (or a recovered source) re-analyzes from scratch.
 """
 
 from __future__ import annotations
@@ -32,7 +37,7 @@ from __future__ import annotations
 import struct
 
 #: Every kind a quarantined payload's ``error_kind`` may carry.
-ERROR_KINDS = ("decode", "io", "model", "timeout", "crash")
+ERROR_KINDS = ("decode", "io", "model", "timeout", "crash", "cancelled")
 
 
 class AnalysisError(Exception):

@@ -7,7 +7,15 @@ from repro.harness.scenarios import (
     TracedTransfer,
 )
 from repro.harness.corpus import generate_corpus, CorpusEntry
-from repro.harness.faults import FAULT_KINDS, FaultPlan, FaultSpec
+from repro.harness.faults import (
+    FAULT_KINDS,
+    RESOURCE_FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    ResourceFaultPlan,
+    ResourceFaultSpec,
+    decode_storm_bytes,
+)
 from repro.harness.probing import Arrival, drive_receiver, probe_hole_fill
 
 __all__ = [
@@ -23,4 +31,8 @@ __all__ = [
     "FAULT_KINDS",
     "FaultPlan",
     "FaultSpec",
+    "RESOURCE_FAULT_KINDS",
+    "ResourceFaultPlan",
+    "ResourceFaultSpec",
+    "decode_storm_bytes",
 ]

@@ -40,7 +40,7 @@ resilience test suite exercises the session through it.
 from __future__ import annotations
 
 import multiprocessing
-import queue
+import multiprocessing.connection
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -71,7 +71,7 @@ def error_payload(item, error: AnalysisError,
     return payload
 
 
-def _worker_main(worker_id: int, task_queue, result_queue,
+def _worker_main(worker_id: int, task_queue, result_conn,
                  worker_fn) -> None:
     """One worker: pull (index, item, attempt), analyze, post result.
 
@@ -79,6 +79,17 @@ def _worker_main(worker_id: int, task_queue, result_queue,
     payloads; anything that still escapes (a defect in the guard
     itself) is converted here so a worker never dies of an exception —
     only of a genuine crash or an external kill.
+
+    Results go out over a per-worker pipe, not a shared queue, and
+    the ``send`` is synchronous: when it returns, the message is in
+    the pipe whole.  A shared ``multiprocessing.Queue`` would post
+    through a background feeder thread holding a write lock shared by
+    every worker — a worker SIGKILLed at the wrong instant (a fault
+    plan's ``kill``, the OOM killer) leaves that lock orphaned and
+    wedges every *other* worker's result forever.  With one pipe per
+    worker, a kill can only tear the killed worker's own stream,
+    which the supervisor reads as EOF and diagnoses as the crash it
+    is.
     """
     while True:
         try:
@@ -97,9 +108,9 @@ def _worker_main(worker_id: int, task_queue, result_queue,
             from repro.core.errors import classify_exception
             payloads = [error_payload(item, classify_exception(error))]
         try:
-            result_queue.put((worker_id, index, payloads,
+            result_conn.send((worker_id, index, payloads,
                               time.perf_counter() - start))
-        except (KeyboardInterrupt, BrokenPipeError):
+        except (KeyboardInterrupt, BrokenPipeError, OSError):
             return
 
 
@@ -107,6 +118,9 @@ def _worker_main(worker_id: int, task_queue, result_queue,
 class _Worker:
     process: multiprocessing.Process
     tasks: "multiprocessing.Queue" = field(repr=False, default=None)
+    #: Parent's read end of this worker's private result pipe.
+    results: "multiprocessing.connection.Connection" = field(
+        repr=False, default=None)
 
 
 @dataclass
@@ -147,7 +161,6 @@ class PoolSession:
         self._retries = retries
         self._poll = poll
         self._context = multiprocessing.get_context()
-        self._result_queue = self._context.Queue()
         self._slots = [_Slot() for _ in range(workers)]
         self._slot_of: dict[int, int] = {}      # worker_id -> slot no.
         self._shared: deque = deque()           # unpinned backlog
@@ -211,31 +224,74 @@ class PoolSession:
         results: list[tuple[int, list[dict], float]] = []
         wait = self._poll if timeout is None else timeout
         block = self._outstanding > 0 and wait > 0
-        while True:
-            try:
-                if block:
-                    message = self._result_queue.get(timeout=wait)
-                else:
-                    message = self._result_queue.get_nowait()
-            except queue.Empty:
-                if block:
-                    results.extend(self._health_check())
-                break
-            block = False       # drain the rest without waiting
-            worker_id, index, payloads, elapsed = message
-            slot_no = self._slot_of.get(worker_id)
-            if slot_no is not None:
-                slot = self._slots[slot_no]
-                if slot.inflight is not None \
-                        and slot.inflight[0][0] == index:
-                    slot.inflight = None
-            if index in self._resolved:
-                continue        # late duplicate of a diagnosed item
-            self._resolved.add(index)
-            self._outstanding -= 1
-            results.append((index, payloads, elapsed))
+        conns = [slot.worker.results for slot in self._slots
+                 if slot.worker is not None]
+        ready = multiprocessing.connection.wait(
+            conns, timeout=wait if block else 0) if conns else []
+        eof = False
+        for conn in ready:
+            eof |= self._drain_conn(conn, results)
+        if (block and not results) or eof:
+            # Nothing arrived within the wait (or a worker's pipe hit
+            # EOF): diagnose the in-flight set — crashes and hangs
+            # surface here, as quarantined error payloads.
+            results.extend(self._health_check())
         self._pump()
         return results
+
+    def _drain_conn(self, conn, results) -> bool:
+        """Deliver every complete message waiting on one worker's
+        pipe; return True when the stream has hit EOF (worker died —
+        a torn trailing message reads as EOF too, never a hang)."""
+        while True:
+            try:
+                if not conn.poll(0):
+                    return False
+                message = conn.recv()
+            except (EOFError, OSError):
+                return True
+            self._handle_message(message, results)
+
+    def _handle_message(self, message, results) -> None:
+        worker_id, index, payloads, elapsed = message
+        slot_no = self._slot_of.get(worker_id)
+        if slot_no is not None:
+            slot = self._slots[slot_no]
+            if slot.inflight is not None \
+                    and slot.inflight[0][0] == index:
+                slot.inflight = None
+        if index in self._resolved:
+            return              # late duplicate of a diagnosed item
+        self._resolved.add(index)
+        self._outstanding -= 1
+        results.append((index, payloads, elapsed))
+
+    def cancel(self, predicate: Callable[[object], bool]
+               ) -> list[tuple[int, object]]:
+        """Withdraw queued items matching *predicate*; return them.
+
+        Only items still waiting for a worker are cancellable — the
+        in-flight set is left to finish (or crash) under the normal
+        supervision rules, so a worker is never yanked mid-item.
+        Cancelled indexes are marked resolved: a late duplicate from
+        a requeue can never resurrect them.  The serve daemon uses
+        this to flush a circuit-breaker-quarantined source's backlog
+        out of the shared pool without touching other sources' work.
+        """
+        cancelled: list[tuple[int, object]] = []
+        backlogs = [self._shared] + [slot.backlog for slot in self._slots]
+        for backlog in backlogs:
+            kept: deque = deque()
+            while backlog:
+                index, item, attempt = backlog.popleft()
+                if index not in self._resolved and predicate(item):
+                    self._resolved.add(index)
+                    self._outstanding -= 1
+                    cancelled.append((index, item))
+                else:
+                    kept.append((index, item, attempt))
+            backlog.extend(kept)
+        return cancelled
 
     def drain(self) -> Iterator[tuple[int, list[dict], float]]:
         """Yield results until nothing submitted remains unresolved."""
@@ -262,8 +318,10 @@ class PoolSession:
                 worker.process.join(timeout=5.0)
             worker.tasks.close()
             worker.tasks.cancel_join_thread()
-        self._result_queue.close()
-        self._result_queue.cancel_join_thread()
+            try:
+                worker.results.close()
+            except OSError:
+                pass
 
     # -- internals ---------------------------------------------------
 
@@ -271,14 +329,18 @@ class PoolSession:
         worker_id = self._next_worker_id
         self._next_worker_id += 1
         task_queue = self._context.Queue()
+        recv_conn, send_conn = self._context.Pipe(duplex=False)
         process = self._context.Process(
             target=_worker_main,
-            args=(worker_id, task_queue, self._result_queue,
-                  self._worker_fn),
+            args=(worker_id, task_queue, send_conn, self._worker_fn),
             daemon=True)
         process.start()
+        # Close the parent's copy of the write end: the worker must be
+        # the pipe's only writer, so its death reads as EOF here.
+        send_conn.close()
         self._slots[slot_no].worker = _Worker(process=process,
-                                              tasks=task_queue)
+                                              tasks=task_queue,
+                                              results=recv_conn)
         self._slot_of[worker_id] = slot_no
         if self._started >= len(self._slots):
             self.worker_restarts += 1
@@ -292,6 +354,10 @@ class PoolSession:
         slot.worker = None
         worker.tasks.close()
         worker.tasks.cancel_join_thread()
+        try:
+            worker.results.close()
+        except OSError:
+            pass
 
     def _next_task(self, slot: _Slot) -> tuple | None:
         """Pop the slot's next runnable task (pinned before shared)."""
@@ -321,14 +387,31 @@ class PoolSession:
         results = []
         now = time.monotonic()
         for slot_no, slot in enumerate(self._slots):
-            if slot.inflight is None:
-                continue
-            (index, item, attempt), started = slot.inflight
             worker = slot.worker
             alive = worker is not None and worker.process.is_alive()
+            if slot.inflight is None:
+                if worker is not None and not alive:
+                    # Died between tasks: retire now so its EOF-ready
+                    # pipe stops waking every poll (a replacement is
+                    # spawned when the slot next gets work).
+                    self._drain_conn(worker.results, results)
+                    self._retire(slot_no)
+                continue
+            (index, item, attempt), started = slot.inflight
             if alive and (self._timeout is None
                           or now - started <= self._timeout):
                 continue
+            if not alive:
+                # The worker may have finished the item and died on
+                # the way to the next one — believe a result already
+                # in its pipe over the corpse.
+                if worker is not None:
+                    self._drain_conn(worker.results, results)
+                if slot.inflight is None or index in self._resolved:
+                    slot.inflight = None
+                    self._retire(slot_no)
+                    self._spawn(slot_no)
+                    continue
             slot.inflight = None
             if not alive:
                 exitcode = worker.process.exitcode if worker else None

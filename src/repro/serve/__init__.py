@@ -19,8 +19,11 @@ Components, one module each:
 - :class:`ServeMetrics` — counters, gauges, and sliding-window
   aggregates behind ``/stats``;
 - :class:`JsonlSink` — duplicate-proof per-source JSONL output;
+- :class:`CircuitBreaker` / :class:`BreakerBoard` /
+  :class:`ResourceGovernor` — per-source fault isolation and the
+  resource-pressure degradation ladder;
 - :class:`ServeDaemon` / :class:`ServeConfig` — the loop that ties
-  them together, with backpressure and graceful drain.
+  them together, with backpressure, governance, and graceful drain.
 
 The load-bearing invariant: for any capture, the flows the daemon
 reports are byte-identical to what ``tcpanaly batch --stream`` would
@@ -30,11 +33,19 @@ a kill-and-restart, courtesy of the checkpoint journal and the
 sink's cross-restart dedupe.
 """
 
-from repro.serve.daemon import ServeConfig, ServeDaemon
+from repro.serve.daemon import ROTATE_POLICIES, ServeConfig, ServeDaemon
+from repro.serve.governor import (
+    BREAKER_STATES,
+    HEALTH_STATES,
+    BreakerBoard,
+    CircuitBreaker,
+    ResourceGovernor,
+)
 from repro.serve.metrics import (
     RollingWindow,
     ServeMetrics,
     flow_retransmission_rate,
+    render_prometheus,
 )
 from repro.serve.scheduler import (
     FlowScheduler,
@@ -46,10 +57,16 @@ from repro.serve.tailer import CaptureTailer
 from repro.serve.watcher import SpoolWatcher
 
 __all__ = [
+    "BREAKER_STATES",
+    "BreakerBoard",
     "CaptureTailer",
+    "CircuitBreaker",
     "FlowScheduler",
     "FlowWorkItem",
+    "HEALTH_STATES",
     "JsonlSink",
+    "ROTATE_POLICIES",
+    "ResourceGovernor",
     "RollingWindow",
     "ServeConfig",
     "ServeDaemon",
@@ -57,4 +74,5 @@ __all__ = [
     "SpoolWatcher",
     "analyze_flow_item",
     "flow_retransmission_rate",
+    "render_prometheus",
 ]

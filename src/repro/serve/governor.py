@@ -1,0 +1,405 @@
+"""Fault isolation and resource governance for the serve daemon.
+
+The daemon meets the open internet continuously, and at that scale
+pathological inputs are the norm, not the tail: a capture whose flows
+crash every worker they touch, a spool file rotated in place under
+the tailer, a disk that fills mid-run.  Before this module the
+daemon's only defense was one-shot quarantine — a crash-looping
+source retried at full rate through the shared pool, and an
+``ENOSPC`` from the sink killed the process.  Two mechanisms close
+that gap:
+
+**Per-source circuit breakers** (:class:`CircuitBreaker`, pooled in a
+:class:`BreakerBoard`).  Worker-fatal outcomes (``crash``/``timeout``
+quarantines, tailer read failures) count against the flow's *source*;
+enough consecutive failures trip the breaker ``closed`` → ``open``
+and the daemon stops polling that source.  After an exponential
+backoff (with deterministic per-source jitter so many sources never
+retry in lockstep) the breaker admits a ``half-open`` probe: one more
+tailing window.  A clean result closes the breaker; another failure
+re-opens it with a doubled backoff.  A bounded number of trips later
+the source is ``quarantined`` permanently — one poisoned capture can
+never monopolize the pool or starve healthy sources, no matter how
+long the daemon runs.
+
+::
+
+                 failures >= threshold
+      closed ──────────────────────────▶ open ──┐
+        ▲                                 │     │ trips > max_trips
+        │ success                 backoff │     ▼
+        │                         elapsed │   quarantined (permanent)
+        └────────── half-open ◀───────────┘
+                        │ failure: re-open, backoff *= factor
+
+**Resource watchdogs** (:class:`ResourceGovernor`).  A disk-pressure
+monitor (free bytes under ``--out``, plus sink write failures) and a
+memory monitor (process RSS, live-flow occupancy) drive a
+graceful-degradation ladder.  Each rung gives up a little liveness to
+protect the invariants that matter — results are journaled before
+they are sunk, and the daemon exits gracefully or not at all:
+
+========== ===============================================
+state      restriction (each rung includes those above)
+========== ===============================================
+healthy    none
+degraded   pause spool discovery (no new sources)
+shedding   early-retire the oldest live flows; pause tailing
+draining   journal-only mode (sink writes parked for replay)
+========== ===============================================
+
+Escalation is immediate; recovery is hysteretic — a rung is stepped
+down only after the triggering metric has cleared its threshold *with
+margin* for several consecutive ticks, so a daemon hovering at a
+boundary never flaps.  The current state is mirrored in ``/healthz``,
+``/stats``, and the Prometheus ``/metrics`` endpoint.
+
+Every clock and probe is injectable, so the whole state machine is
+unit-testable without filling a disk or ballooning a process.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import zlib
+from pathlib import Path
+from typing import Callable
+
+#: Breaker states, in escalation order.
+BREAKER_STATES = ("closed", "open", "half-open", "quarantined")
+
+#: Governor health states, one per degradation rung.
+HEALTH_STATES = ("healthy", "degraded", "shedding", "draining")
+
+#: Consecutive worker-fatal results that trip a closed breaker.
+DEFAULT_BREAKER_FAILURES = 3
+#: First-trip backoff in seconds; doubles per subsequent trip.
+DEFAULT_BREAKER_BACKOFF = 5.0
+#: Backoff ceiling, whatever the trip count.
+DEFAULT_BREAKER_MAX_BACKOFF = 300.0
+#: Trips after which a source is quarantined permanently.
+DEFAULT_BREAKER_TRIPS = 3
+#: Backoff jitter fraction (deterministic per source).
+BREAKER_JITTER = 0.25
+
+#: Ticks a metric must stay clear (with margin) before stepping down.
+RECOVERY_TICKS = 3
+#: Margin a metric must clear its threshold by to count as recovered.
+RECOVERY_MARGIN = 1.25
+
+
+class CircuitBreaker:
+    """Failure isolation for one source: trip, back off, probe, give up.
+
+    The breaker never touches the source itself — it only answers
+    :meth:`allow` (may the daemon poll this source right now?) and
+    accounts outcomes via :meth:`record_failure` /
+    :meth:`record_success`.  ``quarantined`` is absorbing: once the
+    trip budget is spent the source is never polled again.
+    """
+
+    def __init__(self, name: str = "",
+                 failures: int = DEFAULT_BREAKER_FAILURES,
+                 backoff: float = DEFAULT_BREAKER_BACKOFF,
+                 max_backoff: float = DEFAULT_BREAKER_MAX_BACKOFF,
+                 max_trips: int = DEFAULT_BREAKER_TRIPS,
+                 clock: Callable[[], float] = time.monotonic):
+        if failures < 1:
+            raise ValueError(f"failures must be >= 1, not {failures}")
+        if max_trips < 1:
+            raise ValueError(f"max_trips must be >= 1, not {max_trips}")
+        self.name = name
+        self.failure_threshold = failures
+        self.base_backoff = backoff
+        self.max_backoff = max_backoff
+        self.max_trips = max_trips
+        self._clock = clock
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self.trip_count = 0
+        self._reopen_at = 0.0
+        # Deterministic jitter in [0, 1): stable for a given source
+        # name across runs, different across sources — retries spread
+        # out without making tests flaky.
+        self._jitter = (zlib.crc32(name.encode()) % 1000) / 1000.0
+
+    def allow(self) -> bool:
+        """May the daemon ingest from this source right now?"""
+        if self.state == "closed" or self.state == "half-open":
+            return True
+        if self.state == "quarantined":
+            return False
+        if self._clock() >= self._reopen_at:   # open, backoff elapsed
+            self.state = "half-open"
+            return True
+        return False
+
+    def record_failure(self) -> None:
+        """One worker-fatal outcome attributed to this source."""
+        if self.state == "quarantined":
+            return
+        if self.state == "half-open":
+            self._trip()                 # the probe failed: re-open
+            return
+        self.consecutive_failures += 1
+        if self.consecutive_failures >= self.failure_threshold:
+            self._trip()
+
+    def record_success(self) -> None:
+        """One healthy result attributed to this source."""
+        if self.state == "quarantined":
+            return
+        self.consecutive_failures = 0
+        if self.state == "half-open":
+            self.state = "closed"        # the probe succeeded
+
+    def quarantine(self) -> None:
+        """Give up on the source immediately (e.g. not a pcap at all)."""
+        self.state = "quarantined"
+
+    @property
+    def retry_in(self) -> float:
+        """Seconds until the next half-open probe (0 when allowed)."""
+        if self.state != "open":
+            return 0.0
+        return max(self._reopen_at - self._clock(), 0.0)
+
+    def _trip(self) -> None:
+        self.consecutive_failures = 0
+        self.trip_count += 1
+        if self.trip_count >= self.max_trips:
+            self.state = "quarantined"
+            return
+        self.state = "open"
+        backoff = self.base_backoff * (2.0 ** (self.trip_count - 1))
+        backoff = min(backoff, self.max_backoff)
+        self._reopen_at = self._clock() \
+            + backoff * (1.0 + BREAKER_JITTER * self._jitter)
+
+
+class BreakerBoard:
+    """All per-source breakers, plus the transition log the daemon drains.
+
+    Sources get a breaker lazily on first mention; transitions are
+    accumulated as ``(source, old_state, new_state)`` events so the
+    daemon can count trips/quarantines and log them without comparing
+    snapshots every tick.
+    """
+
+    def __init__(self,
+                 failures: int = DEFAULT_BREAKER_FAILURES,
+                 backoff: float = DEFAULT_BREAKER_BACKOFF,
+                 max_backoff: float = DEFAULT_BREAKER_MAX_BACKOFF,
+                 max_trips: int = DEFAULT_BREAKER_TRIPS,
+                 clock: Callable[[], float] = time.monotonic):
+        self._spec = dict(failures=failures, backoff=backoff,
+                          max_backoff=max_backoff, max_trips=max_trips,
+                          clock=clock)
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._events: list[tuple[str, str, str]] = []
+
+    def breaker(self, source: str) -> CircuitBreaker:
+        breaker = self._breakers.get(source)
+        if breaker is None:
+            breaker = CircuitBreaker(name=source, **self._spec)
+            self._breakers[source] = breaker
+        return breaker
+
+    def _transition(self, source: str, action: Callable) -> None:
+        breaker = self.breaker(source)
+        before = breaker.state
+        action(breaker)
+        if breaker.state != before:
+            self._events.append((source, before, breaker.state))
+
+    def allow(self, source: str) -> bool:
+        allowed = [False]
+
+        def probe(breaker: CircuitBreaker) -> None:
+            allowed[0] = breaker.allow()
+
+        self._transition(source, probe)
+        return allowed[0]
+
+    def record_failure(self, source: str) -> None:
+        self._transition(source, CircuitBreaker.record_failure)
+
+    def record_success(self, source: str) -> None:
+        self._transition(source, CircuitBreaker.record_success)
+
+    def quarantine(self, source: str) -> None:
+        self._transition(source, CircuitBreaker.quarantine)
+
+    def drain_events(self) -> list[tuple[str, str, str]]:
+        """Transitions since the last drain, oldest first."""
+        events, self._events = self._events, []
+        return events
+
+    def states(self) -> dict[str, str]:
+        """Current state per source (for /stats and /metrics)."""
+        return {source: breaker.state
+                for source, breaker in sorted(self._breakers.items())}
+
+    def quarantined(self) -> set[str]:
+        return {source for source, breaker in self._breakers.items()
+                if breaker.state == "quarantined"}
+
+    def blocked(self, source: str) -> bool:
+        """True when the source must not be polled (without the
+        side-effectful open → half-open transition of :meth:`allow`)."""
+        breaker = self._breakers.get(source)
+        if breaker is None:
+            return False
+        if breaker.state == "quarantined":
+            return True
+        return breaker.state == "open" and breaker.retry_in > 0
+
+
+def process_rss_bytes() -> int:
+    """Resident set size of this process, best effort (0 if unknown).
+
+    Reads ``/proc/self/statm`` where available (Linux); falls back to
+    ``resource.getrusage`` peak RSS elsewhere.  Either way the number
+    only drives the degradation ladder — precision is not required.
+    """
+    try:
+        with open("/proc/self/statm") as handle:
+            fields = handle.read().split()
+        return int(fields[1]) * (os.sysconf("SC_PAGE_SIZE") or 4096)
+    except (OSError, IndexError, ValueError):
+        pass
+    try:
+        import resource
+        rss_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        return int(rss_kib) * 1024
+    except Exception:
+        return 0
+
+
+def free_bytes_under(path: str | Path) -> int:
+    """Free bytes on the filesystem holding *path* (best effort)."""
+    try:
+        stats = os.statvfs(path)
+    except OSError:
+        return 0
+    return stats.f_bavail * stats.f_frsize
+
+
+class ResourceGovernor:
+    """The degradation ladder: pressure in, health state out.
+
+    Call :meth:`assess` once per daemon tick with the live-flow count
+    and whether the sink is currently failing; read the restriction
+    properties (:attr:`allows_discovery`, :attr:`pause_tailing`,
+    :attr:`should_shed`, :attr:`journal_only`) to apply the current
+    rung.  Limits set to 0 disable that watchdog entirely — a daemon
+    configured with no budgets stays ``healthy`` forever and behaves
+    exactly as it did before this module existed.
+    """
+
+    def __init__(self, out_dir: str | Path,
+                 min_free_bytes: int = 0,
+                 max_rss_bytes: int = 0,
+                 max_live_flows: int = 0,
+                 recovery_ticks: int = RECOVERY_TICKS,
+                 recovery_margin: float = RECOVERY_MARGIN,
+                 free_bytes_fn: Callable[[], int] | None = None,
+                 rss_fn: Callable[[], int] | None = None):
+        self.out_dir = Path(out_dir)
+        self.min_free_bytes = min_free_bytes
+        self.max_rss_bytes = max_rss_bytes
+        self.max_live_flows = max_live_flows
+        self.recovery_ticks = recovery_ticks
+        self.recovery_margin = recovery_margin
+        self._free_bytes = free_bytes_fn if free_bytes_fn is not None \
+            else (lambda: free_bytes_under(self.out_dir))
+        self._rss = rss_fn if rss_fn is not None else process_rss_bytes
+        self.level = 0
+        self._calm_ticks = 0
+        self.transitions = 0
+        # Last-probe readings, exposed as gauges.
+        self.free_bytes = 0
+        self.rss_bytes = 0
+
+    @property
+    def state(self) -> str:
+        return HEALTH_STATES[self.level]
+
+    @property
+    def allows_discovery(self) -> bool:
+        return self.level < 1
+
+    @property
+    def should_shed(self) -> bool:
+        return self.level >= 2
+
+    @property
+    def pause_tailing(self) -> bool:
+        return self.level >= 2
+
+    @property
+    def journal_only(self) -> bool:
+        return self.level >= 3
+
+    def _pressure_level(self, live_flows: int, sink_failing: bool,
+                        margin: float) -> int:
+        """The rung current readings demand.  *margin* > 1 makes every
+        threshold harder to stay under — the hysteresis band."""
+        free, rss = self.free_bytes, self.rss_bytes
+        if sink_failing:
+            return 3
+        if self.min_free_bytes and free < self.min_free_bytes * margin:
+            return 3
+        if self.max_rss_bytes and rss > self.max_rss_bytes / margin:
+            return 2
+        if self.max_live_flows \
+                and live_flows > self.max_live_flows / margin:
+            return 2
+        # Early warning: half the disk headroom gone, or RSS within
+        # 80% of its budget — stop taking on new sources.
+        if self.min_free_bytes \
+                and free < 2 * self.min_free_bytes * margin:
+            return 1
+        if self.max_rss_bytes and rss > 0.8 * self.max_rss_bytes / margin:
+            return 1
+        return 0
+
+    def assess(self, live_flows: int = 0,
+               sink_failing: bool = False) -> str:
+        """One governance tick: probe, escalate or (slowly) recover."""
+        self.free_bytes = self._free_bytes()
+        self.rss_bytes = self._rss()
+        demanded = self._pressure_level(live_flows, sink_failing,
+                                        margin=1.0)
+        if demanded > self.level:
+            self.level = demanded         # escalate immediately
+            self._calm_ticks = 0
+            self.transitions += 1
+            return self.state
+        # Step down one rung at a time, only after the readings have
+        # cleared the *next lower* rung's thresholds with margin for
+        # enough consecutive ticks.
+        relaxed = self._pressure_level(live_flows, sink_failing,
+                                       margin=self.recovery_margin)
+        if self.level > 0 and relaxed < self.level:
+            self._calm_ticks += 1
+            if self._calm_ticks >= self.recovery_ticks:
+                self.level -= 1
+                self._calm_ticks = 0
+                self.transitions += 1
+        else:
+            self._calm_ticks = 0
+        return self.state
+
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot for /stats."""
+        return {
+            "state": self.state,
+            "free_bytes": self.free_bytes,
+            "rss_bytes": self.rss_bytes,
+            "min_free_bytes": self.min_free_bytes,
+            "max_rss_bytes": self.max_rss_bytes,
+            "max_live_flows": self.max_live_flows,
+            "transitions": self.transitions,
+        }

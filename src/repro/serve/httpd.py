@@ -1,13 +1,21 @@
 """The daemon's local stats/health endpoint.
 
-Three paths, standard-library HTTP only, loopback only:
+Four paths, standard-library HTTP only, loopback only:
 
-- ``/healthz`` — liveness: 200 whenever the process can answer.
+- ``/healthz`` — liveness: 200 whenever the process can answer; the
+  body carries the governor's health state (``ok healthy``,
+  ``ok degraded``, ...) so probes that *can* read bodies see the
+  degradation ladder without parsing JSON.  Degraded is still alive
+  — only an unresponsive process fails this probe.
 - ``/readyz`` — readiness: 200 once the daemon loop has completed a
   full tick (sources opened, workers up), 503 before and during
   drain.
 - ``/stats``  — the :class:`~repro.serve.metrics.ServeMetrics`
   snapshot as JSON.
+- ``/metrics`` — the same snapshot in Prometheus text exposition
+  format (rendered by
+  :func:`~repro.serve.metrics.render_prometheus`), so a scrape
+  config points here and alerts on breaker trips and ladder states.
 
 The server runs ``serve_forever`` on a daemon thread; requests only
 read snapshots (a dict built under the GIL), so no locking with the
@@ -23,12 +31,17 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable
 
+from repro.serve.metrics import render_prometheus
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
 
 class StatsServer:
     """Loopback HTTP server for health probes and metric snapshots."""
 
     def __init__(self, stats_fn: Callable[[], dict],
                  ready_fn: Callable[[], bool],
+                 health_fn: Callable[[], str] | None = None,
                  port: int = 0, host: str = "127.0.0.1"):
         server = self
 
@@ -36,7 +49,11 @@ class StatsServer:
             def do_GET(self) -> None:
                 path = self.path.split("?", 1)[0]
                 if path == "/healthz":
-                    self._reply(200, b"ok\n", "text/plain")
+                    if server.health_fn is None:
+                        body = b"ok\n"
+                    else:
+                        body = f"ok {server.health_fn()}\n".encode()
+                    self._reply(200, body, "text/plain")
                 elif path == "/readyz":
                     if server.ready_fn():
                         self._reply(200, b"ready\n", "text/plain")
@@ -46,6 +63,9 @@ class StatsServer:
                     body = json.dumps(server.stats_fn(),
                                       sort_keys=True).encode()
                     self._reply(200, body + b"\n", "application/json")
+                elif path == "/metrics":
+                    body = render_prometheus(server.stats_fn()).encode()
+                    self._reply(200, body, PROMETHEUS_CONTENT_TYPE)
                 else:
                     self._reply(404, b"not found\n", "text/plain")
 
@@ -62,6 +82,7 @@ class StatsServer:
 
         self.stats_fn = stats_fn
         self.ready_fn = ready_fn
+        self.health_fn = health_fn
         self._httpd = ThreadingHTTPServer((host, port), Handler)
         self._thread: threading.Thread | None = None
 

@@ -96,6 +96,14 @@ class ServeMetrics:
         self.sink_lines = 0
         self.sources_failed = 0      # captures that were not pcaps at all
         self.pause_events = 0        # backpressure trips
+        # Governance counters.
+        self.flows_shed = 0          # early-retired under memory pressure
+        self.flows_cancelled = 0     # withdrawn from a quarantined source
+        self.breaker_trips = 0       # closed/half-open -> open
+        self.breaker_quarantines = 0  # sources given up on permanently
+        self.rotations = 0           # in-place rotation/truncation events
+        self.sink_errors = 0         # failed sink appends (parked)
+        self.journal_errors = 0      # failed journal appends (parked)
         # Gauges (overwritten per tick).
         self.ingest_lag_bytes = 0
         self.flow_table_occupancy = 0
@@ -104,6 +112,13 @@ class ServeMetrics:
         self.worker_restarts = 0
         self.sources = 0
         self.paused = False
+        # Governance gauges.
+        self.health_state = "healthy"
+        self.breaker_states: dict[str, str] = {}
+        self.disk_free_bytes = 0
+        self.rss_bytes = 0
+        self.sink_parked = 0
+        self.journal_pending = 0
         # Rolling aggregates.
         self.identifications = RollingWindow(window, clock)
         self.quarantines = RollingWindow(window, clock)
@@ -143,6 +158,13 @@ class ServeMetrics:
                 "sink_lines": self.sink_lines,
                 "sources_failed": self.sources_failed,
                 "pause_events": self.pause_events,
+                "flows_shed": self.flows_shed,
+                "flows_cancelled": self.flows_cancelled,
+                "breaker_trips": self.breaker_trips,
+                "breaker_quarantines": self.breaker_quarantines,
+                "rotations": self.rotations,
+                "sink_errors": self.sink_errors,
+                "journal_errors": self.journal_errors,
             },
             "gauges": {
                 "ingest_lag_bytes": self.ingest_lag_bytes,
@@ -152,6 +174,14 @@ class ServeMetrics:
                 "worker_restarts": self.worker_restarts,
                 "sources": self.sources,
                 "paused": self.paused,
+                "disk_free_bytes": self.disk_free_bytes,
+                "rss_bytes": self.rss_bytes,
+                "sink_parked": self.sink_parked,
+                "journal_pending": self.journal_pending,
+            },
+            "health": {
+                "state": self.health_state,
+                "breakers": dict(self.breaker_states),
             },
             "rolling": {
                 "window_seconds": self.identifications.span,
@@ -164,6 +194,85 @@ class ServeMetrics:
                     len(self.retransmission_rates),
             },
         }
+
+
+#: Governor health states, in ladder order (mirrors governor.py;
+#: duplicated here so rendering never imports the state machine).
+_HEALTH_STATES = ("healthy", "degraded", "shedding", "draining")
+_BREAKER_STATES = ("closed", "open", "half-open", "quarantined")
+
+
+def _label_escape(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r'\"') \
+                .replace("\n", r"\n")
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """The ``/stats`` snapshot as Prometheus text exposition format.
+
+    Everything a scraper needs to alert on the governor: lifetime
+    counters as ``tcpanaly_serve_<name>_total``, gauges as
+    ``tcpanaly_serve_<name>``, the health state machine and per-source
+    breaker states as one-hot labeled gauges, and the rolling
+    identification mix as labeled gauges.  Rendered from the same
+    snapshot ``/stats`` serves, so the two endpoints can never
+    disagree.
+    """
+    lines: list[str] = []
+
+    def emit(name: str, kind: str, help_text: str,
+             samples: list[tuple[str, float]]) -> None:
+        metric = f"tcpanaly_serve_{name}"
+        lines.append(f"# HELP {metric} {help_text}")
+        lines.append(f"# TYPE {metric} {kind}")
+        for labels, value in samples:
+            number = f"{value:g}" if isinstance(value, float) \
+                else str(int(value))
+            lines.append(f"{metric}{labels} {number}")
+
+    emit("uptime_seconds", "gauge", "Seconds since daemon start.",
+         [("", float(snapshot.get("uptime_seconds", 0.0)))])
+    for name, value in snapshot.get("counters", {}).items():
+        emit(f"{name}_total", "counter",
+             f"Lifetime count of {name.replace('_', ' ')}.",
+             [("", value)])
+    for name, value in snapshot.get("gauges", {}).items():
+        emit(name, "gauge", f"Current {name.replace('_', ' ')}.",
+             [("", int(value) if isinstance(value, bool) else value)])
+    health = snapshot.get("health", {})
+    state = health.get("state", "healthy")
+    emit("health_state", "gauge",
+         "Governor degradation ladder (1 on the active state).",
+         [(f'{{state="{s}"}}', 1 if s == state else 0)
+          for s in _HEALTH_STATES])
+    breakers = health.get("breakers", {})
+    samples = []
+    for source in sorted(breakers):
+        escaped = _label_escape(source)
+        for s in _BREAKER_STATES:
+            samples.append((f'{{source="{escaped}",state="{s}"}}',
+                            1 if breakers[source] == s else 0))
+    if samples:
+        emit("breaker_state", "gauge",
+             "Per-source circuit breaker (1 on the active state).",
+             samples)
+    rolling = snapshot.get("rolling", {})
+    for name, key, label in (
+            ("identifications", "identifications", "implementation"),
+            ("quarantine_kinds", "quarantine_kinds", "kind"),
+            ("close_reasons", "close_reasons", "reason")):
+        counts = rolling.get(key) or {}
+        if counts:
+            emit(f"rolling_{name}", "gauge",
+                 f"Rolling-window {name.replace('_', ' ')}.",
+                 [(f'{{{label}="{_label_escape(str(value))}"}}', count)
+                  for value, count in sorted(counts.items())])
+    mean = rolling.get("retransmission_rate_mean")
+    if mean is not None:
+        emit("rolling_retransmission_rate_mean", "gauge",
+             "Rolling mean per-flow retransmission rate.",
+             [("", float(mean))])
+    return "\n".join(lines) + "\n"
 
 
 def flow_retransmission_rate(records) -> float:

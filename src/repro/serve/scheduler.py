@@ -20,6 +20,18 @@ quarantined as ``timeout``, and an in-worker analysis error comes
 back as a classified error payload.  Transient kinds are journaled
 like everything else *except* never — the scheduler skips journaling
 payloads whose kind is transient, so a restart retries them.
+
+The scheduler is also where per-source fault isolation plugs in:
+given a :class:`~repro.serve.governor.BreakerBoard`, every polled
+result is accounted to its source's circuit breaker — worker-fatal
+kinds (``crash``/``timeout``) as failures, everything else as
+successes — and :meth:`FlowScheduler.cancel_source` flushes a
+quarantined source's queued flows back out of the shared pool so they
+stop poisoning workers other sources depend on.  Journal writes are
+themselves governed: an ``OSError`` from the journal (the disk the
+governor is already worried about) parks the entry in memory for
+:meth:`FlowScheduler.flush_journal` to retry, instead of crashing the
+daemon.
 """
 
 from __future__ import annotations
@@ -27,16 +39,21 @@ from __future__ import annotations
 import functools
 import zlib
 
-from repro.core.errors import classify_exception
+from repro.core.errors import AnalysisError, classify_exception
 from repro.harness.faults import FaultPlan
 from repro.pipeline.cache import trace_digest
 from repro.pipeline.journal import BatchJournal
 from repro.pipeline.resilience import PoolSession, error_payload
+from repro.serve.governor import BreakerBoard
 from repro.stream import Flow, build_flow_report, flow_payload
 
 #: Error kinds that may be transient: never journaled, so a restarted
 #: daemon re-analyzes them (mirrors the batch cache policy).
-TRANSIENT_KINDS = frozenset({"io", "timeout", "crash"})
+TRANSIENT_KINDS = frozenset({"io", "timeout", "crash", "cancelled"})
+
+#: Error kinds that count against a source's circuit breaker: the
+#: failure took a worker down with it (or held one hostage).
+WORKER_FATAL_KINDS = frozenset({"crash", "timeout"})
 
 
 class FlowWorkItem:
@@ -100,15 +117,22 @@ class FlowScheduler:
                  journal: BatchJournal | None = None,
                  timeout: float | None = None,
                  retries: int = 2,
-                 fault_plan: FaultPlan | None = None):
+                 fault_plan: FaultPlan | None = None,
+                 breakers: BreakerBoard | None = None):
         worker_fn = functools.partial(analyze_flow_item,
                                       fault_plan=fault_plan)
         self.session = PoolSession(workers, worker_fn,
                                    timeout=timeout, retries=retries)
         self.journal = journal
+        self.breakers = breakers
         self._next_index = 0
         self._submitted: dict[int, tuple[FlowWorkItem, str]] = {}
         self.replayed = 0
+        self.cancelled = 0
+        self.journal_errors = 0
+        #: Journal entries whose write failed (disk pressure), kept in
+        #: memory until :meth:`flush_journal` lands them.
+        self._journal_pending: list[tuple[str, str, list[dict]]] = []
 
     @property
     def outstanding(self) -> int:
@@ -143,13 +167,74 @@ class FlowScheduler:
 
     def poll(self, timeout: float | None = None
              ) -> list[tuple[str, list[dict]]]:
-        """Collect finished flows; journal each before returning it."""
+        """Collect finished flows; journal each before returning it.
+
+        Each result is also accounted to its source's circuit breaker
+        (when a board is attached): worker-fatal payloads are
+        failures, everything else — including in-worker classified
+        errors, which cost the pool nothing — is a success.
+        """
         results = []
         for index, payloads, _elapsed in self.session.poll(timeout):
             item, digest = self._submitted.pop(index)
+            if self.breakers is not None:
+                if _worker_fatal(payloads):
+                    self.breakers.record_failure(item.source)
+                else:
+                    self.breakers.record_success(item.source)
             if self.journal is not None and _journalable(payloads):
-                self.journal.record(item.name, digest, payloads)
+                self._record(item.name, digest, payloads)
             results.append((item.name, payloads))
+        return results
+
+    def _record(self, name: str, digest: str,
+                payloads: list[dict]) -> None:
+        """Journal one entry; park it in memory when the disk won't."""
+        try:
+            self.journal.record(name, digest, payloads)
+        except OSError:
+            self.journal_errors += 1
+            self._journal_pending.append((name, digest, payloads))
+
+    def flush_journal(self) -> int:
+        """Retry journal entries parked by disk failure; return the
+        number that landed."""
+        written = 0
+        while self._journal_pending:
+            name, digest, payloads = self._journal_pending[0]
+            try:
+                self.journal.record(name, digest, payloads)
+            except OSError:
+                self.journal_errors += 1
+                break
+            self._journal_pending.pop(0)
+            written += 1
+        return written
+
+    @property
+    def journal_pending(self) -> int:
+        return len(self._journal_pending)
+
+    def cancel_source(self, source: str
+                      ) -> list[tuple[str, list[dict]]]:
+        """Withdraw a quarantined source's queued flows from the pool.
+
+        In-flight flows finish under normal supervision; queued ones
+        come back immediately as ``cancelled`` payloads — transient by
+        definition, so they are never journaled and a later run (or a
+        recovered source) re-analyzes them from the capture.
+        """
+        removed = self.session.cancel(
+            lambda item: getattr(item, "source", None) == source)
+        results = []
+        for _index, item in removed:
+            self._submitted.pop(_index, None)
+            self.cancelled += 1
+            error = AnalysisError(
+                "cancelled",
+                f"source {source} circuit-breaker quarantined; flow "
+                f"withdrawn before analysis")
+            results.append((item.name, [error_payload(item, error)]))
         return results
 
     def drain(self) -> list[tuple[str, list[dict]]]:
@@ -165,4 +250,9 @@ class FlowScheduler:
 
 def _journalable(payloads: list[dict]) -> bool:
     return all(payload.get("error_kind") not in TRANSIENT_KINDS
+               for payload in payloads)
+
+
+def _worker_fatal(payloads: list[dict]) -> bool:
+    return any(payload.get("error_kind") in WORKER_FATAL_KINDS
                for payload in payloads)

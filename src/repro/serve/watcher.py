@@ -3,10 +3,24 @@
 Operators often cannot point the daemon at capture files that exist
 yet — rotation tools and packet filters create them over time.  The
 :class:`SpoolWatcher` polls a directory for files matching a glob
-pattern and reports each exactly once, leaving lifecycle management
-(tailing, finalizing) to the daemon.  Polling, not inotify: no
-platform dependence, and the daemon loop already ticks at a cadence
-that makes a scan per tick cheap.
+pattern and reports each exactly once per *incarnation*, leaving
+lifecycle management (tailing, finalizing) to the daemon.  Polling,
+not inotify: no platform dependence, and the daemon loop already
+ticks at a cadence that makes a scan per tick cheap.
+
+Two real-world behaviors the first version got wrong are now part of
+the contract:
+
+- **No unbounded memory.**  The seen-set tracks only paths that still
+  exist; a deleted capture is forgotten, so a spool directory churned
+  by a rotation tool for months cannot grow the watcher without
+  bound.
+- **Rotation visibility.**  A file deleted and recreated under the
+  same name (or truncated and rewritten in place) is a *new
+  incarnation* and is reported again: the watcher remembers each
+  path's ``(st_ino, st_size)`` and re-reports when the inode changes
+  or the size shrinks.  Plain growth — the normal case for a capture
+  being appended to — never re-reports.
 """
 
 from __future__ import annotations
@@ -15,19 +29,42 @@ from pathlib import Path
 
 
 class SpoolWatcher:
-    """Report files newly appearing under a directory, exactly once."""
+    """Report files newly appearing under a directory, exactly once
+    per incarnation (recreated or truncated files count as new)."""
 
     def __init__(self, directory: str | Path, pattern: str = "*.pcap"):
         self.directory = Path(directory)
         self.pattern = pattern
-        self._seen: set[Path] = set()
+        #: path -> (st_ino, st_size) at the last scan that saw it.
+        self._seen: dict[Path, tuple[int, int]] = {}
 
     def scan(self) -> list[Path]:
-        """Paths that appeared since the previous scan, sorted."""
+        """Paths that appeared (or reappeared) since the previous
+        scan, sorted."""
         try:
             present = sorted(self.directory.glob(self.pattern))
         except OSError:
             return []
-        fresh = [path for path in present if path not in self._seen]
-        self._seen.update(fresh)
+        fresh: list[Path] = []
+        current: dict[Path, tuple[int, int]] = {}
+        for path in present:
+            try:
+                status = path.stat()
+            except OSError:
+                continue           # vanished between glob and stat
+            incarnation = (status.st_ino, status.st_size)
+            known = self._seen.get(path)
+            if known is None:
+                fresh.append(path)
+            elif known[0] != status.st_ino \
+                    or status.st_size < known[1]:
+                # Same name, different file: recreated (new inode) or
+                # truncated in place (shrunk) — a new incarnation.
+                fresh.append(path)
+            current[path] = incarnation
+        # Forgetting departed paths keeps the set bounded by the
+        # directory's live population, and makes a delete-then-
+        # recreate cycle register even if both happen between scans
+        # of a very slow loop (the inode check catches the rest).
+        self._seen = current
         return fresh

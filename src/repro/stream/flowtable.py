@@ -79,7 +79,8 @@ class Flow:
     index: int                   # birth order within the capture
     records: list[TraceRecord] = field(default_factory=list)
     saw_syn: bool = False
-    close_reason: str = ""       # "fin" | "rst" | "idle" | "evicted" | "eof"
+    # "fin" | "rst" | "idle" | "evicted" | "eof" | "shed"
+    close_reason: str = ""
     opened_at: float = 0.0
     last_seen: float = 0.0
     # FIN/RST teardown progress (directions that sent FIN; pending
@@ -187,6 +188,25 @@ class FlowTable:
             flow.close_pending = "fin"
             flow.closing_at = record.timestamp
         return sorted(completed, key=lambda f: f.index)
+
+    def shed(self, count: int) -> list[Flow]:
+        """Early-retire the *count* least-recently-active live flows.
+
+        The memory-pressure escape valve for the serve governor: the
+        flows come back (close reason ``"shed"``) so their records can
+        still be analyzed, but the table stops holding them.  Never
+        called on the batch path — shedding trades the live-vs-batch
+        equivalence of the affected flows for a bounded memory
+        ceiling, which is exactly the degradation ladder's deal.
+        """
+        victims = []
+        for key in list(self._flows):
+            if len(victims) >= count:
+                break
+            victims.append(self._flows[key])
+        for flow in victims:
+            self._retire(flow, "shed")
+        return sorted(victims, key=lambda f: f.index)
 
     def drain(self) -> list[Flow]:
         """Retire everything still live (end of stream)."""

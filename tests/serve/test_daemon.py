@@ -11,9 +11,14 @@ import json
 import pytest
 
 from repro.harness.corpus import generate_interleaved_capture
-from repro.harness.faults import FaultPlan, FaultSpec
+from repro.harness.faults import (
+    FaultPlan,
+    FaultSpec,
+    ResourceFaultPlan,
+    ResourceFaultSpec,
+)
 from repro.pipeline.runner import BatchItem, run_batch
-from repro.serve import ServeConfig, ServeDaemon
+from repro.serve import FlowScheduler, JsonlSink, ServeConfig, ServeDaemon
 from repro.trace.pcap import write_pcap
 
 
@@ -145,3 +150,132 @@ class TestWorkerDeath:
         assert all("error_kind" not in line for line in healthy)
         assert daemon.metrics.worker_restarts >= 1
         assert daemon.metrics.flows_quarantined == 1
+
+
+class TestSourceIsolation:
+    def test_crash_looping_source_is_quarantined_healthy_ones_finish(
+            self, live_capture, tmp_path):
+        # Every flow of bad.pcap kills its worker; the breaker must
+        # quarantine bad.pcap while live.pcap completes untouched.
+        bad = tmp_path / "bad.pcap"
+        bad.write_bytes(live_capture.read_bytes())
+        plan = FaultPlan((FaultSpec(match="bad.pcap#*", kind="kill"),))
+        out = tmp_path / "out"
+        daemon = ServeDaemon(serve_config(
+            out, captures=[live_capture, bad], workers=2, retries=0,
+            fault_plan=plan, breaker_failures=1, breaker_trips=1))
+        assert daemon.run() == 0
+        assert daemon.breakers.states()["bad.pcap"] == "quarantined"
+        assert daemon.breakers.states()["live.pcap"] == "closed"
+        assert daemon.metrics.breaker_quarantines == 1
+        healthy = sink_lines(out, "live.pcap")
+        assert len(healthy) == 4
+        assert all("error_kind" not in line for line in healthy)
+        assert daemon.metrics.health_state == "healthy"
+
+    def test_breaker_states_reach_the_stats_snapshot(self, live_capture,
+                                                     tmp_path):
+        out = tmp_path / "out"
+        daemon = ServeDaemon(serve_config(out, captures=[live_capture]))
+        assert daemon.run() == 0
+        snapshot = daemon.metrics.to_dict()
+        assert snapshot["health"]["state"] == "healthy"
+        assert snapshot["health"]["breakers"] == {"live.pcap": "closed"}
+
+
+class TestRotationPolicies:
+    def drive(self, daemon, out):
+        daemon._sink = JsonlSink(out / "results")
+        daemon._scheduler = FlowScheduler(1)
+
+    def finish(self, daemon):
+        daemon._scheduler.close()
+        daemon._sink.close()
+
+    def test_quarantine_policy_emits_a_classified_line(self, live_capture,
+                                                       tmp_path):
+        data = live_capture.read_bytes()
+        path = tmp_path / "rot.pcap"
+        path.write_bytes(data)
+        out = tmp_path / "out"
+        daemon = ServeDaemon(serve_config(out, captures=[path]))
+        self.drive(daemon, out)
+        daemon._add_source(path)
+        daemon._tail()
+        path.write_bytes(data[:100])      # copytruncate under the tailer
+        daemon._tail()
+        self.finish(daemon)
+        assert daemon.metrics.rotations == 1
+        assert daemon.breakers.states()["rot.pcap"] == "quarantined"
+        lines = sink_lines(out, "rot.pcap")
+        assert lines[-1]["error_kind"] == "io"
+        assert "rotated" in lines[-1]["error"]
+
+    def test_restart_policy_retails_under_a_fresh_source_name(
+            self, live_capture, tmp_path):
+        data = live_capture.read_bytes()
+        path = tmp_path / "rot.pcap"
+        path.write_bytes(data)
+        out = tmp_path / "out"
+        daemon = ServeDaemon(serve_config(out, captures=[path],
+                                          on_rotate="restart"))
+        self.drive(daemon, out)
+        old = daemon._add_source(path)
+        daemon._tail()
+        submitted_before = daemon.metrics.flows_submitted
+        path.write_bytes(data[:100])
+        daemon._tail()
+        self.finish(daemon)
+        assert daemon.metrics.rotations == 1
+        # The truncated incarnation's open flows went to analysis...
+        assert daemon.metrics.flows_submitted > submitted_before
+        # ...and the new incarnation tails under a suffixed name, so
+        # its flow names can never collide in the sink.
+        assert daemon._by_path[path] is not old
+        assert daemon._by_path[path].source == "rot.pcap~2"
+        assert "quarantined" not in daemon.breakers.states().values()
+
+
+class TestDegradationLadder:
+    def test_memory_pressure_sheds_flows_and_recovers(self, tmp_path):
+        # Connections spaced out in stream time with a tiny poll
+        # budget: several flows are live at once, tripping the
+        # max_live_flows watchdog, which early-retires the oldest.
+        capture = generate_interleaved_capture(
+            ["reno", "tahoe"], connections=6, scenarios=("wan",),
+            data_size=4096, start_interval=20.0)
+        path = tmp_path / "busy.pcap"
+        write_pcap(capture.trace, path)
+        out = tmp_path / "out"
+        daemon = ServeDaemon(serve_config(
+            out, captures=[path], records_per_poll=64,
+            max_live_flows=1))
+        assert daemon.run() == 0
+        assert daemon.metrics.flows_shed >= 1
+        # Shedding split no work away: every record of every flow is
+        # analyzed (a shed flow's remainder re-enters as a new flow).
+        lines = sink_lines(out, "busy.pcap")
+        assert len(lines) >= 6
+        assert daemon.metrics.health_state == "healthy"   # recovered
+
+    def test_sink_enospc_enters_journal_only_and_restart_replays(
+            self, live_capture, tmp_path):
+        out = tmp_path / "out"
+        # First two sink appends succeed, then the disk "fills".
+        faults = ResourceFaultPlan((
+            ResourceFaultSpec(kind="enospc", after_calls=2),))
+        first = ServeDaemon(serve_config(out, captures=[live_capture],
+                                         resource_faults=faults))
+        assert first.run() == 0           # never exits non-gracefully
+        assert first.metrics.sink_errors >= 1
+        written = sink_lines(out, live_capture.name)
+        assert len(written) == 2          # the two that landed
+        # Everything was journaled even though the sink could not
+        # write: the restart replays and the missing lines land
+        # exactly once, no duplicates.
+        second = ServeDaemon(serve_config(out, captures=[live_capture]))
+        assert second.run() == 0
+        assert second.metrics.journal_skips == 4
+        lines = sink_lines(out, live_capture.name)
+        names = [line["trace"] for line in lines]
+        assert len(names) == len(set(names)) == 4

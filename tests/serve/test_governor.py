@@ -1,0 +1,231 @@
+"""Circuit breakers and the resource-governance ladder, clock-driven."""
+
+import pytest
+
+from repro.serve import (
+    BreakerBoard,
+    CircuitBreaker,
+    ResourceGovernor,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_allows(self):
+        breaker = CircuitBreaker("s", clock=FakeClock())
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_trips_open_after_consecutive_failures(self):
+        breaker = CircuitBreaker("s", failures=3, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker = CircuitBreaker("s", failures=2, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_backoff_elapsed_admits_a_half_open_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker("s", failures=1, backoff=10.0,
+                                 max_trips=5, clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        assert breaker.retry_in > 0
+        clock.advance(breaker.retry_in + 0.001)
+        assert breaker.allow()
+        assert breaker.state == "half-open"
+
+    def test_probe_success_closes_probe_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker("s", failures=1, backoff=10.0,
+                                 max_trips=5, clock=clock)
+        breaker.record_failure()
+        clock.advance(breaker.retry_in + 0.001)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        # Trip again: the probe failing goes straight back to open.
+        breaker.record_failure()
+        clock.advance(breaker.retry_in + 0.001)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+
+    def test_backoff_doubles_per_trip_up_to_the_cap(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker("s", failures=1, backoff=10.0,
+                                 max_backoff=25.0, max_trips=10,
+                                 clock=clock)
+        waits = []
+        for _ in range(4):
+            breaker.record_failure()
+            waits.append(breaker.retry_in)
+            clock.advance(breaker.retry_in + 0.001)
+            assert breaker.allow()        # half-open probe
+        # Jitter scales each wait identically, so ratios are exact
+        # until the cap flattens them.
+        assert waits[1] == pytest.approx(2 * waits[0])
+        assert waits[2] == pytest.approx(waits[3])   # both capped
+
+    def test_exhausting_trips_quarantines_permanently(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker("s", failures=1, backoff=1.0,
+                                 max_trips=3, clock=clock)
+        for _ in range(2):
+            breaker.record_failure()
+            clock.advance(1000.0)
+            assert breaker.allow()
+        breaker.record_failure()          # third trip: out of budget
+        assert breaker.state == "quarantined"
+        clock.advance(1e9)
+        assert not breaker.allow()        # absorbing
+        breaker.record_success()
+        assert breaker.state == "quarantined"
+
+    def test_jitter_is_deterministic_per_name(self):
+        a1 = CircuitBreaker("a.pcap", failures=1, clock=FakeClock())
+        a2 = CircuitBreaker("a.pcap", failures=1, clock=FakeClock())
+        b = CircuitBreaker("b.pcap", failures=1, clock=FakeClock())
+        for breaker in (a1, a2, b):
+            breaker.record_failure()
+        assert a1.retry_in == a2.retry_in
+        assert a1.retry_in != b.retry_in
+
+
+class TestBreakerBoard:
+    def test_sources_are_isolated(self):
+        board = BreakerBoard(failures=1, clock=FakeClock())
+        board.record_failure("bad.pcap")
+        assert not board.allow("bad.pcap")
+        assert board.allow("good.pcap")
+
+    def test_drain_events_reports_transitions_once(self):
+        board = BreakerBoard(failures=1, max_trips=1,
+                             clock=FakeClock())
+        board.record_failure("bad.pcap")
+        events = board.drain_events()
+        assert ("bad.pcap", "closed", "quarantined") in events
+        assert board.drain_events() == []
+
+    def test_states_and_quarantined_views(self):
+        clock = FakeClock()
+        board = BreakerBoard(failures=1, max_trips=1, clock=clock)
+        board.allow("fine.pcap")
+        board.record_failure("bad.pcap")
+        assert board.states() == {"bad.pcap": "quarantined",
+                                  "fine.pcap": "closed"}
+        assert board.quarantined() == {"bad.pcap"}
+
+    def test_blocked_is_side_effect_free(self):
+        clock = FakeClock()
+        board = BreakerBoard(failures=1, backoff=10.0, max_trips=5,
+                             clock=clock)
+        board.record_failure("s")
+        clock.advance(1000.0)
+        # blocked() must NOT consume the open -> half-open transition.
+        assert not board.blocked("s")
+        assert board.states()["s"] == "open"
+        assert board.allow("s")
+        assert board.states()["s"] == "half-open"
+
+
+def governor(tmp_path, **kwargs):
+    probes = {"free": 10_000, "rss": 100}
+    gov = ResourceGovernor(tmp_path,
+                           free_bytes_fn=lambda: probes["free"],
+                           rss_fn=lambda: probes["rss"],
+                           recovery_ticks=2, **kwargs)
+    return gov, probes
+
+
+class TestResourceGovernor:
+    def test_no_budgets_means_healthy_forever(self, tmp_path):
+        gov, probes = governor(tmp_path)
+        probes["free"] = 0
+        probes["rss"] = 10**12
+        assert gov.assess(live_flows=10**6) == "healthy"
+        assert gov.allows_discovery and not gov.journal_only
+
+    def test_disk_pressure_escalates_to_draining(self, tmp_path):
+        gov, probes = governor(tmp_path, min_free_bytes=1000)
+        assert gov.assess() == "healthy"
+        probes["free"] = 500
+        assert gov.assess() == "draining"
+        assert gov.journal_only and gov.pause_tailing
+        assert not gov.allows_discovery
+
+    def test_half_headroom_is_an_early_warning(self, tmp_path):
+        gov, probes = governor(tmp_path, min_free_bytes=1000)
+        probes["free"] = 1500     # above the floor, under 2x headroom
+        assert gov.assess() == "degraded"
+        assert not gov.allows_discovery
+        assert not gov.pause_tailing
+
+    def test_rss_pressure_sheds(self, tmp_path):
+        gov, probes = governor(tmp_path, max_rss_bytes=1000)
+        probes["rss"] = 2000
+        assert gov.assess() == "shedding"
+        assert gov.should_shed and gov.pause_tailing
+        assert not gov.journal_only
+
+    def test_live_flow_budget_sheds(self, tmp_path):
+        gov, _probes = governor(tmp_path, max_live_flows=10)
+        assert gov.assess(live_flows=9) == "healthy"
+        assert gov.assess(live_flows=11) == "shedding"
+
+    def test_sink_failure_forces_draining(self, tmp_path):
+        gov, _probes = governor(tmp_path)
+        assert gov.assess(sink_failing=True) == "draining"
+
+    def test_recovery_is_hysteretic_one_rung_at_a_time(self, tmp_path):
+        gov, probes = governor(tmp_path, min_free_bytes=1000)
+        probes["free"] = 500
+        assert gov.assess() == "draining"
+        # Barely over the floor: inside the margin band, no recovery.
+        probes["free"] = 1100
+        for _ in range(5):
+            assert gov.assess() == "draining"
+        # Clear with margin: one rung per recovery_ticks calm ticks.
+        probes["free"] = 10_000
+        assert gov.assess() == "draining"
+        states = [gov.assess() for _ in range(6)]
+        assert states == ["shedding", "shedding", "degraded",
+                          "degraded", "healthy", "healthy"]
+
+    def test_relapse_resets_the_calm_count(self, tmp_path):
+        gov, probes = governor(tmp_path, min_free_bytes=1000)
+        probes["free"] = 500
+        gov.assess()
+        probes["free"] = 10_000
+        gov.assess()                       # 1 calm tick
+        probes["free"] = 500
+        assert gov.assess() == "draining"  # relapse
+        probes["free"] = 10_000
+        assert gov.assess() == "draining"  # count restarted
+        assert gov.assess() == "shedding"
+
+    def test_to_dict_is_json_safe(self, tmp_path):
+        gov, _probes = governor(tmp_path, min_free_bytes=1000)
+        gov.assess()
+        snapshot = gov.to_dict()
+        assert snapshot["state"] == "healthy"
+        assert snapshot["free_bytes"] == 10_000
+        assert snapshot["min_free_bytes"] == 1000

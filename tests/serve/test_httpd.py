@@ -6,7 +6,7 @@ import urllib.request
 
 import pytest
 
-from repro.serve.httpd import StatsServer
+from repro.serve.httpd import PROMETHEUS_CONTENT_TYPE, StatsServer
 
 
 @pytest.fixture
@@ -53,9 +53,59 @@ class TestStatsServer:
     def test_unknown_path_is_404(self, server):
         httpd, _state = server
         with pytest.raises(urllib.error.HTTPError) as caught:
-            get(httpd.port, "/metrics")
+            get(httpd.port, "/nope")
         assert caught.value.code == 404
 
     def test_ephemeral_port_is_real(self, server):
         httpd, _state = server
         assert httpd.port > 0
+
+    def test_healthz_carries_the_governor_state(self):
+        state = {"health": "degraded"}
+        httpd = StatsServer(lambda: {}, lambda: True,
+                            health_fn=lambda: state["health"], port=0)
+        httpd.start()
+        try:
+            with get(httpd.port, "/healthz") as response:
+                assert response.status == 200
+                assert response.read() == b"ok degraded\n"
+            state["health"] = "healthy"
+            with get(httpd.port, "/healthz") as response:
+                assert response.read() == b"ok healthy\n"
+        finally:
+            httpd.stop()
+
+    def test_metrics_serves_prometheus_text(self):
+        snapshot = {
+            "uptime_seconds": 1.5,
+            "counters": {"sink_lines": 7, "breaker_trips": 2},
+            "gauges": {"queue_depth": 3, "paused": True},
+            "health": {"state": "shedding",
+                       "breakers": {"a.pcap": "open"}},
+            "rolling": {"identifications": {"Tahoe": 4}},
+        }
+        httpd = StatsServer(lambda: snapshot, lambda: True, port=0)
+        httpd.start()
+        try:
+            with get(httpd.port, "/metrics") as response:
+                assert response.status == 200
+                assert response.headers["Content-Type"] \
+                    == PROMETHEUS_CONTENT_TYPE
+                body = response.read().decode()
+        finally:
+            httpd.stop()
+        assert "tcpanaly_serve_sink_lines_total 7" in body
+        assert "tcpanaly_serve_breaker_trips_total 2" in body
+        assert "tcpanaly_serve_queue_depth 3" in body
+        assert "tcpanaly_serve_paused 1" in body
+        assert 'tcpanaly_serve_health_state{state="shedding"} 1' in body
+        assert 'tcpanaly_serve_health_state{state="healthy"} 0' in body
+        assert ('tcpanaly_serve_breaker_state{source="a.pcap",'
+                'state="open"} 1') in body
+        assert ('tcpanaly_serve_rolling_identifications'
+                '{implementation="Tahoe"} 4') in body
+        # Every exposition line is HELP, TYPE, or a sample.
+        for line in body.strip().splitlines():
+            assert line.startswith("# HELP") \
+                or line.startswith("# TYPE") \
+                or line.split(" ")[-1].replace(".", "", 1).isdigit()

@@ -4,7 +4,12 @@ import pytest
 
 from repro.harness.faults import FaultPlan, FaultSpec
 from repro.pipeline.journal import BatchJournal
-from repro.serve import FlowScheduler, FlowWorkItem, analyze_flow_item
+from repro.serve import (
+    BreakerBoard,
+    FlowScheduler,
+    FlowWorkItem,
+    analyze_flow_item,
+)
 from repro.stream.flowtable import demux_records
 
 from tests.conftest import cached_transfer
@@ -113,3 +118,97 @@ class TestFlowScheduler:
         assert scheduler.outstanding == 0
         assert sorted(name for name, _ in results) == \
             ["a.pcap#flow-0000", "b.pcap#flow-0000", "c.pcap#flow-0000"]
+
+
+class TestSchedulerGovernance:
+    def test_results_are_accounted_to_source_breakers(self, reno_flow):
+        board = BreakerBoard(failures=1, max_trips=1)
+        plan = FaultPlan((FaultSpec(match="bad.pcap#*", kind="kill"),))
+        scheduler = FlowScheduler(1, fault_plan=plan, retries=0,
+                                  breakers=board)
+        scheduler.submit(FlowWorkItem("bad.pcap", reno_flow))
+        scheduler.submit(FlowWorkItem("good.pcap", reno_flow))
+        scheduler.drain()
+        scheduler.close()
+        states = board.states()
+        assert states["bad.pcap"] == "quarantined"
+        assert states["good.pcap"] == "closed"
+
+    def test_cancel_source_withdraws_only_queued_flows(self, reno_flow):
+        scheduler = FlowScheduler(1)
+        # Same shard per source+flow: all three of bad's items queue
+        # behind each other; none may be in flight yet since we never
+        # polled.  Good's item must survive the cancellation.
+        for _ in range(3):
+            scheduler.submit(FlowWorkItem("bad.pcap", reno_flow))
+        scheduler.submit(FlowWorkItem("good.pcap", reno_flow))
+        cancelled = scheduler.cancel_source("bad.pcap")
+        assert scheduler.cancelled == len(cancelled)
+        for name, payloads in cancelled:
+            assert name.startswith("bad.pcap#")
+            assert payloads[0]["error_kind"] == "cancelled"
+        results = scheduler.drain()
+        scheduler.close()
+        names = [name for name, _ in results]
+        assert "good.pcap#flow-0000" in names
+        assert len(names) + len(cancelled) == 4
+
+    def test_cancelled_is_transient_never_journaled(self, reno_flow,
+                                                    tmp_path):
+        journal = BatchJournal(tmp_path / "journal.jsonl", stream=True,
+                               resume=True)
+        # The in-flight item crashes (transient too); the queued one
+        # is cancelled.  Either way nothing may reach the journal.
+        plan = FaultPlan((FaultSpec(match="bad.pcap#*", kind="kill"),))
+        scheduler = FlowScheduler(1, journal=journal, fault_plan=plan,
+                                  retries=0)
+        for _ in range(2):
+            scheduler.submit(FlowWorkItem("bad.pcap", reno_flow))
+        scheduler.cancel_source("bad.pcap")
+        scheduler.drain()
+        scheduler.close()
+        journal.close()
+        # Restart: every cancelled flow is re-analyzed from scratch.
+        journal = BatchJournal(tmp_path / "journal.jsonl", stream=True,
+                               resume=True)
+        restarted = FlowScheduler(1, journal=journal)
+        replay = restarted.submit(FlowWorkItem("bad.pcap", reno_flow))
+        restarted.drain()
+        restarted.close()
+        journal.close()
+        assert replay == []
+        assert restarted.replayed == 0
+
+    def test_journal_disk_failure_parks_then_flushes(self, reno_flow,
+                                                     tmp_path, monkeypatch):
+        journal = BatchJournal(tmp_path / "journal.jsonl", stream=True,
+                               resume=True)
+        scheduler = FlowScheduler(1, journal=journal)
+        scheduler.submit(FlowWorkItem("cap.pcap", reno_flow))
+        real_record = journal.record
+        broken = {"on": True}
+
+        def flaky_record(*args, **kwargs):
+            if broken["on"]:
+                raise OSError(28, "No space left on device")
+            return real_record(*args, **kwargs)
+
+        monkeypatch.setattr(journal, "record", flaky_record)
+        results = scheduler.drain()
+        assert len(results) == 1          # the result still flows on
+        assert scheduler.journal_pending == 1
+        assert scheduler.journal_errors == 1
+        assert scheduler.flush_journal() == 0    # still failing
+        broken["on"] = False
+        assert scheduler.flush_journal() == 1
+        assert scheduler.journal_pending == 0
+        scheduler.close()
+        journal.close()
+        # The parked entry really landed: a restart replays it.
+        journal = BatchJournal(tmp_path / "journal.jsonl", stream=True,
+                               resume=True)
+        restarted = FlowScheduler(1, journal=journal)
+        replay = restarted.submit(FlowWorkItem("cap.pcap", reno_flow))
+        restarted.close()
+        journal.close()
+        assert len(replay) == 1

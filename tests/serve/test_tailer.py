@@ -86,3 +86,123 @@ class TestCaptureTailer:
         path.write_bytes(data)
         tailer.poll()
         assert tailer.records_consumed == total
+
+
+class TestTailerFailureClassification:
+    def test_truncation_in_place_is_a_rotated_failure(self, tmp_path,
+                                                      capture_bytes):
+        data, _total = capture_bytes
+        path = tmp_path / "rot.pcap"
+        path.write_bytes(data)
+        tailer = CaptureTailer(path)
+        tailer.poll()
+        assert tailer.records_consumed > 0
+        # logrotate-style copytruncate: the file shrinks under us.
+        path.write_bytes(data[:50])
+        assert tailer.poll() == []
+        assert tailer.rotated
+        assert tailer.failed is not None
+        assert tailer.failed.kind == "io"
+
+    def test_recreation_with_new_inode_is_rotated(self, tmp_path,
+                                                  capture_bytes):
+        data, _total = capture_bytes
+        path = tmp_path / "rot.pcap"
+        path.write_bytes(data[:2000])
+        tailer = CaptureTailer(path)
+        tailer.poll()
+        # Replace with a different, *larger* file: size alone cannot
+        # catch this — the inode comparison must.
+        path.unlink()
+        path.write_bytes(b"\x00" * (len(data) + 4096))
+        assert tailer.poll() == []
+        assert tailer.rotated
+
+    def test_deleted_mid_tail_quarantines_as_io(self, tmp_path,
+                                                capture_bytes):
+        data, _total = capture_bytes
+        path = tmp_path / "gone.pcap"
+        path.write_bytes(data)
+        tailer = CaptureTailer(path)
+        tailer.poll()
+        path.unlink()
+        assert tailer.poll() == []
+        assert tailer.failed is not None
+        assert tailer.failed.kind == "io"
+        assert not tailer.rotated         # deletion is not rotation
+        assert tailer.poll() == []        # quarantined: stays failed
+
+    def test_growth_is_never_mistaken_for_rotation(self, tmp_path,
+                                                   capture_bytes):
+        data, total = capture_bytes
+        path = tmp_path / "grow.pcap"
+        path.write_bytes(data[:2000])
+        tailer = CaptureTailer(path)
+        tailer.poll()
+        with open(path, "ab") as handle:
+            handle.write(data[2000:])
+        tailer.poll()
+        assert tailer.failed is None
+        assert not tailer.rotated
+        tailer.finalize()
+        assert tailer.records_consumed == total
+
+    def test_decode_storm_is_quarantined_not_retried(self, tmp_path):
+        from repro.harness.faults import decode_storm_bytes
+        path = tmp_path / "storm.pcap"
+        path.write_bytes(decode_storm_bytes(records=256))
+        tailer = CaptureTailer(path)
+        assert tailer.poll() == []
+        assert tailer.failed is not None
+        assert tailer.failed.kind == "decode"
+        assert "decode storm" in str(tailer.failed)
+
+    def test_a_few_leading_decode_errors_are_not_a_storm(self, tmp_path,
+                                                         capture_bytes):
+        import struct
+        data, total = capture_bytes
+        path = tmp_path / "noisy.pcap"
+        # 8 garbage records (well under the threshold), then the real
+        # capture's records: the tailer must keep going.  Noise is
+        # framed in the capture's own (big-endian) record format, with
+        # an IP version nibble of 0 so every packet decode-errors.
+        noise = b""
+        for index in range(8):
+            payload = bytes((index * 37 + j) % 256 for j in range(40))
+            payload = b"\x00" + payload[1:]
+            noise += struct.pack(">IIII", 0, index,
+                                 len(payload), len(payload)) + payload
+        header_len = 24
+        path.write_bytes(data[:header_len] + noise + data[header_len:])
+        tailer = CaptureTailer(path)
+        tailer.poll()
+        assert tailer.failed is None
+        assert tailer.stats.decode_errors == 8
+        assert tailer.records_consumed == total
+
+    def test_shed_retires_oldest_flows_early(self, tmp_path,
+                                             capture_bytes):
+        data, _total = capture_bytes
+        path = tmp_path / "shed.pcap"
+        path.write_bytes(data[:len(data) // 2])
+        tailer = CaptureTailer(path)
+        tailer.poll()
+        assert tailer.live_flows == 1
+        shed = tailer.shed(5)
+        assert len(shed) == 1
+        assert shed[0].close_reason == "shed"
+        assert tailer.live_flows == 0
+
+    def test_drain_open_flows_for_rotation_restart(self, tmp_path,
+                                                   capture_bytes):
+        data, _total = capture_bytes
+        path = tmp_path / "rot.pcap"
+        path.write_bytes(data)
+        tailer = CaptureTailer(path)
+        tailer.poll()
+        path.write_bytes(data[:50])       # rotate in place
+        tailer.poll()
+        assert tailer.rotated
+        flows = tailer.drain_open_flows()
+        assert len(flows) == 1            # the half-tailed flow
+        assert flows[0].records

@@ -32,3 +32,41 @@ class TestSpoolWatcher:
             (tmp_path / name).write_bytes(b"")
         assert [p.name for p in watcher.scan()] \
             == ["a.pcap", "m.pcap", "z.pcap"]
+
+    def test_departed_paths_are_forgotten(self, tmp_path):
+        # Regression: _seen once grew without bound — a spool that
+        # cycles files forever leaked an entry per file.
+        watcher = SpoolWatcher(tmp_path)
+        path = tmp_path / "a.pcap"
+        path.write_bytes(b"x")
+        watcher.scan()
+        path.unlink()
+        watcher.scan()
+        assert watcher._seen == {}
+
+    def test_recreated_file_is_reported_again(self, tmp_path):
+        watcher = SpoolWatcher(tmp_path)
+        path = tmp_path / "a.pcap"
+        path.write_bytes(b"first incarnation")
+        assert watcher.scan() == [path]
+        path.unlink()
+        watcher.scan()
+        path.write_bytes(b"second incarnation")
+        assert watcher.scan() == [path]   # new inode: a new capture
+
+    def test_truncated_file_is_reported_again(self, tmp_path):
+        watcher = SpoolWatcher(tmp_path)
+        path = tmp_path / "a.pcap"
+        path.write_bytes(b"a long first incarnation of this capture")
+        assert watcher.scan() == [path]
+        path.write_bytes(b"short")        # copytruncate rotation
+        assert watcher.scan() == [path]
+
+    def test_growth_is_not_re_reported(self, tmp_path):
+        watcher = SpoolWatcher(tmp_path)
+        path = tmp_path / "a.pcap"
+        path.write_bytes(b"start")
+        watcher.scan()
+        with open(path, "ab") as handle:
+            handle.write(b" and more")
+        assert watcher.scan() == []

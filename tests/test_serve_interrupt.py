@@ -91,3 +91,80 @@ class TestServeInterrupt:
             expected.append(json.dumps(payload, sort_keys=True))
         got = [json.dumps(line, sort_keys=True) for line in lines]
         assert sorted(got) == sorted(expected)
+
+
+class TestServeDiskPressure:
+    def test_degraded_daemon_stays_up_and_restart_completes(
+            self, capture_bytes, tmp_path):
+        """The degradation ladder under real (simulated-budget) disk
+        pressure: a daemon whose free-space floor can never be met
+        must enter ``draining``, keep answering /healthz, refuse to
+        sink results — and still exit 0 on SIGTERM.  A restart with
+        the budget lifted analyzes everything exactly once.
+        """
+        grow = tmp_path / "grow.pcap"
+        out = tmp_path / "out"
+        grow.write_bytes(capture_bytes)
+
+        # A floor no filesystem can satisfy: immediate disk pressure.
+        proc = run_cli(["serve", str(grow), "--out", str(out),
+                        "--jobs", "2", "--http", "0",
+                        "--min-free-bytes", str(10 ** 18)])
+        try:
+            deadline = time.time() + 30.0
+            port = None
+            while time.time() < deadline:
+                port_file = out / "http.port"
+                if port_file.exists():
+                    port = int(port_file.read_text().strip())
+                    break
+                assert proc.poll() is None, "daemon exited prematurely"
+                time.sleep(0.05)
+            assert port is not None, "http.port never appeared"
+
+            import urllib.request
+            body = b""
+            while time.time() < deadline:
+                try:
+                    with urllib.request.urlopen(
+                            f"http://127.0.0.1:{port}/healthz",
+                            timeout=5) as response:
+                        body = response.read()
+                    if b"draining" in body:
+                        break
+                except OSError:
+                    pass
+                time.sleep(0.05)
+            assert body == b"ok draining\n"
+
+            # /metrics exposes the same state for scrapers.
+            with urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/metrics",
+                    timeout=5) as response:
+                metrics = response.read().decode()
+            assert ('tcpanaly_serve_health_state{state="draining"} 1'
+                    in metrics)
+
+            assert proc.poll() is None    # degraded, not dead
+            proc.send_signal(signal.SIGTERM)
+            stdout, stderr = proc.communicate(timeout=120)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate(timeout=30)
+        assert proc.returncode == 0, stderr
+        assert "Traceback" not in stderr
+
+        # Journal-only mode held: nothing was sunk under pressure.
+        sink_file = out / "results" / "grow.pcap.jsonl"
+        assert not sink_file.exists() or not sink_file.read_text()
+
+        # Budget lifted: the restart analyzes every flow exactly once.
+        resumed = run_cli(["serve", str(grow), "--out", str(out),
+                           "--jobs", "2", "--exit-when-idle",
+                           "--quiet", "0.5"])
+        stdout, stderr = resumed.communicate(timeout=240)
+        assert resumed.returncode == 0, stderr
+        names = [json.loads(line)["trace"] for line in
+                 sink_file.read_text().splitlines()]
+        assert len(names) == len(set(names)) == CONNECTIONS
